@@ -1,0 +1,20 @@
+"""Benchmark-harness fixtures."""
+
+import sys
+import os
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import ModelResultCache  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def cache() -> ModelResultCache:
+    """Session-wide trained-model cache shared by the quality benches."""
+    return ModelResultCache()
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench: benchmark harness tests")

@@ -1,0 +1,89 @@
+"""§4 — theoretical properties of the overparameterization schemes.
+
+Regenerates the section's analytical story as an experiment: gradient-descent
+trajectories of VGG / ExpandNet / SESR / RepVGG parameterizations on the
+Eq. 1 regression problem, plus the vanishing-gradient depth sweep that
+explains why ExpandNet-style doubling of depth hurts (the paper's 13 vs 26
+layer argument).
+"""
+
+import numpy as np
+import pytest
+
+from common import emit
+from repro.theory import (
+    RepVGGLinear,
+    VGGLinear,
+    chain_gradient_magnitude,
+    compare_schemes,
+    make_regression,
+    train,
+)
+
+
+def run_theory():
+    trajectories = compare_schemes(d=6, k=6, n=256, lr=0.02, steps=200, seed=0)
+
+    # RepVGG vs VGG(2η) exact-equality check on a fresh problem.
+    rng = np.random.default_rng(1)
+    x, y, _ = make_regression(6, 6, 256, rng)
+    beta0 = 0.1 * rng.standard_normal((6, 6))
+    t_rep = train(RepVGGLinear(beta0), x, y, lr=1e-3, steps=100)
+    t_vgg2 = train(VGGLinear(beta0), x, y, lr=2e-3, steps=100)
+    repvgg_vs_vgg_gap = max(
+        float(np.abs(a - b).max()) for a, b in zip(t_rep.betas, t_vgg2.betas)
+    )
+
+    grads = {
+        depth: {
+            residual: float(np.mean([
+                chain_gradient_magnitude(depth, residual,
+                                         np.random.default_rng(i))
+                for i in range(300)
+            ]))
+            for residual in (False, True)
+        }
+        for depth in (13, 26)
+    }
+    return trajectories, repvgg_vs_vgg_gap, grads
+
+
+@pytest.mark.bench
+def test_sec4_theory(benchmark):
+    trajectories, gap, grads = benchmark.pedantic(
+        run_theory, rounds=1, iterations=1
+    )
+
+    rows = [
+        [scheme, f"{t.losses[0]:.4f}", f"{t.losses[50]:.5f}",
+         f"{t.final_loss:.6f}"]
+        for scheme, t in trajectories.items()
+    ]
+    rows.append(["max |β_repvgg − β_vgg(2η)|", "-", "-", f"{gap:.2e}"])
+    for depth, by_res in grads.items():
+        rows.append([
+            f"|∂out/∂w₁|, depth {depth}",
+            f"no-res: {by_res[False]:.2e}",
+            f"res: {by_res[True]:.2e}",
+            f"{by_res[True] / max(by_res[False], 1e-300):.1e}x",
+        ])
+    emit(
+        "§4: gradient-update properties of overparameterization schemes",
+        ["Quantity", "t=0", "t=50", "final"],
+        rows,
+        "sec4_theory.txt",
+    )
+
+    # Eq. 5: RepVGG ≡ VGG at doubled lr — to machine precision.
+    assert gap < 1e-10
+
+    # Eqs. 3–4: adaptive schemes outperform plain GD on this problem.
+    assert trajectories["sesr"].final_loss < trajectories["vgg"].final_loss
+    assert trajectories["expandnet"].final_loss < trajectories["vgg"].final_loss
+
+    # Vanishing gradients: at the 26-layer depth ExpandNets effectively
+    # trains (13 collapsed layers → 26 expanded), no-residual chains lose
+    # ≥ 6 orders of magnitude of gradient signal vs residual chains.
+    assert grads[26][False] < grads[26][True] * 1e-6
+    # And the decay is depth-driven.
+    assert grads[26][False] < grads[13][False]

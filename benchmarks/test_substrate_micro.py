@@ -1,0 +1,98 @@
+"""Microbenchmarks of the NumPy substrate itself.
+
+Unlike the table/figure regenerators (which use pytest-benchmark as a
+one-shot harness), these are honest repeated-measurement benchmarks of the
+operations every experiment spends its time in: convolution forward,
+training step in collapsed vs expanded space (the §3.3 speedup, measured
+rather than counted), collapse export, and the NPU estimator itself.
+"""
+
+import numpy as np
+import pytest
+
+from common import FAST
+from repro.core import SESR, CollapsibleLinearBlock
+from repro.hw import ETHOS_N78_4TOPS, estimate, sesr_hw_graph
+from repro.nn import Adam, Tensor, conv2d, no_grad
+from repro.nn.losses import l1_loss
+
+SIZE = (8, 24, 24, 16) if FAST else (8, 48, 48, 16)
+
+
+@pytest.mark.bench
+def test_micro_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    w = Tensor(rng.standard_normal((3, 3, 16, 16)).astype(np.float32))
+
+    def fwd():
+        with no_grad():
+            return conv2d(x, w, padding="same")
+
+    out = benchmark(fwd)
+    assert out.shape == SIZE
+
+
+@pytest.mark.bench
+def test_micro_conv2d_train_step(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    w = Tensor(rng.standard_normal((3, 3, 16, 16)).astype(np.float32),
+               requires_grad=True)
+
+    def step():
+        w.zero_grad()
+        loss = (conv2d(x, w, padding="same") ** 2).mean()
+        loss.backward()
+        return loss
+
+    benchmark(step)
+    assert w.grad is not None
+
+
+def _block_step(block, x, y, opt):
+    opt.zero_grad()
+    loss = l1_loss(block(x), y)
+    loss.backward()
+    opt.step()
+    return loss
+
+
+@pytest.mark.bench
+def test_micro_collapsed_space_step(benchmark):
+    """One training step with the §3.3 efficient (collapsed) forward."""
+    rng = np.random.default_rng(1)
+    block = CollapsibleLinearBlock(16, 16, 3, expansion=256, residual=True,
+                                   mode="collapsed", rng=rng)
+    x = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    y = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    opt = Adam(block.parameters(), lr=1e-4)
+    benchmark(_block_step, block, x, y, opt)
+
+
+@pytest.mark.bench
+def test_micro_expanded_space_step(benchmark):
+    """The naive (ExpandNets-style) training step, for comparison."""
+    rng = np.random.default_rng(1)
+    block = CollapsibleLinearBlock(16, 16, 3, expansion=256, residual=True,
+                                   mode="expanded", rng=rng)
+    x = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    y = Tensor(rng.standard_normal(SIZE).astype(np.float32))
+    opt = Adam(block.parameters(), lr=1e-4)
+    benchmark(_block_step, block, x, y, opt)
+
+
+@pytest.mark.bench
+def test_micro_collapse_export(benchmark):
+    """Algorithm 1 + 2 export of a trained SESR-M5."""
+    model = SESR.from_name("M5", scale=2, seed=0)
+    collapsed = benchmark(model.collapse)
+    assert collapsed.collapsed_num_parameters() == 13520
+
+
+@pytest.mark.bench
+def test_micro_npu_estimator(benchmark):
+    """One full Table-3 style estimate (1080p SESR-M5)."""
+    graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
+    report = benchmark(estimate, graph, ETHOS_N78_4TOPS)
+    assert report.runtime_sec > 0

@@ -1,0 +1,130 @@
+"""Table 2 — PSNR/SSIM for ×4 SISR across six benchmark suites.
+
+Follows the paper's ×4 protocol (§5.1): start from the pretrained ×2 SESR,
+replace the 5×5×f×4 head with 5×5×f×16, apply depth-to-space twice, and
+fine-tune.  FSRCNN ×4 is trained from scratch (its deconv stride changes).
+Complexity columns are recomputed and checked exactly; quality assertions
+pin the paper's orderings.
+"""
+
+import pytest
+
+import repro.zoo as zoo
+from common import (
+    FAST,
+    SUITE_NAMES,
+    SUITE_TO_ZOO,
+    emit,
+    finetune_config,
+    mean_psnr,
+    quality_row,
+)
+from repro.core import SESR, FSRCNN
+from repro.train import run_experiment
+
+SESR_NAMES = ["SESR-M3", "SESR-M5", "SESR-M11"]
+
+
+def run_table2(cache):
+    results = {"Bicubic": cache.bicubic(4)}
+
+    # FSRCNN ×4: fresh training (architecture changes with scale).
+    _, metrics = cache.get(
+        "FSRCNN (our setup)", 4, lambda: FSRCNN(scale=4, seed=0)
+    )
+    results["FSRCNN (our setup)"] = metrics
+
+    # SESR ×4: transfer the ×2 trunk (trains the ×2 model first if Table 1
+    # has not populated the cache in this session).
+    for name in SESR_NAMES:
+        if not cache.has(name, 4):
+            x2_model, _ = cache.get(
+                name, 2,
+                lambda name=name: SESR.from_name(name.replace("SESR-", ""),
+                                                 scale=2, seed=0),
+            )
+            x4_model = x2_model.convert_scale(4)
+            res = run_experiment(x4_model, finetune_config(4), cache.suites(4))
+            cache.put(name, 4, x4_model, res.metrics)
+        results[name] = cache.get(name, 4, None)[1]
+    return results
+
+
+@pytest.mark.bench
+def test_table2_x4_quality(benchmark, cache):
+    results = benchmark.pedantic(run_table2, args=(cache,),
+                                 rounds=1, iterations=1)
+
+    comp_rows = []
+    for entry in zoo.entries_for_scale(4):
+        comp_rows.append([
+            entry.name, entry.regime,
+            "-" if entry.reported_params_k.get(4) is None
+            else f"{entry.reported_params_k[4]:.2f}K",
+            "-" if entry.computed_params(4) is None
+            else f"{entry.computed_params(4) / 1e3:.2f}K",
+            "-" if entry.reported_macs_g.get(4) is None
+            else f"{entry.reported_macs_g[4]:.2f}G",
+            "-" if entry.computed_macs_720p(4) is None
+            else f"{entry.computed_macs_720p(4) / 1e9:.2f}G",
+        ])
+    emit(
+        "Table 2 (complexity columns, x4): paper vs recomputed",
+        ["Model", "Regime", "Params (paper)", "Params (ours)",
+         "MACs (paper)", "MACs (ours)"],
+        comp_rows,
+        "table2_complexity.txt",
+    )
+
+    qual_rows = []
+    for name, metrics in results.items():
+        qual_rows.append([f"{name} (measured)"] + quality_row(metrics))
+        if name in zoo.ZOO and 4 in zoo.get(name).reported_quality:
+            reported = zoo.get(name).reported_quality[4]
+            qual_rows.append([f"{name} (paper)"] + [
+                "-" if reported.get(SUITE_TO_ZOO[s], (None,))[0] is None
+                else f"{reported[SUITE_TO_ZOO[s]][0]:.2f}/"
+                     f"{reported[SUITE_TO_ZOO[s]][1]:.4f}"
+                for s in SUITE_NAMES
+            ])
+    emit(
+        "Table 2 (quality, x4): PSNR/SSIM on synthetic suites "
+        "(x2-pretrained trunks, fine-tuned)",
+        ["Model"] + list(SUITE_NAMES),
+        qual_rows,
+        "table2_quality.txt",
+    )
+
+    # Complexity columns exact.
+    for entry in zoo.modelled_entries():
+        if 4 not in entry.reported_quality:
+            continue
+        if entry.reported_params_k.get(4) is not None:
+            assert entry.computed_params(4) == pytest.approx(
+                entry.reported_params_k[4] * 1e3, rel=0.005
+            ), entry.name
+        if entry.reported_macs_g.get(4) is not None:
+            assert entry.computed_macs_720p(4) == pytest.approx(
+                entry.reported_macs_g[4] * 1e9, rel=0.01
+            ), entry.name
+
+    # The ×4 MAC story: SESR-M5 needs ~4.4× fewer MACs than FSRCNN.
+    m5_macs = zoo.get("SESR-M5").computed_macs_720p(4)
+    fsr_macs = zoo.get("FSRCNN").computed_macs_720p(4)
+    assert fsr_macs / m5_macs == pytest.approx(4.4, rel=0.05)
+
+    if FAST:
+        assert all(mean_psnr(m) > 2 for m in results.values())  # not NaN/diverged
+        return
+
+    bicubic = mean_psnr(results["Bicubic"])
+    fsrcnn = mean_psnr(results["FSRCNN (our setup)"])
+    m5 = mean_psnr(results["SESR-M5"])
+    m11 = mean_psnr(results["SESR-M11"])
+
+    # Orderings: SESR > bicubic; SESR-M5 ≥ FSRCNN at 4.4× fewer MACs.
+    # (M11 gets a small noise band: ×4 at this budget leaves the deeper
+    # model barely past bicubic — see the scale-down policy.)
+    assert m5 > bicubic
+    assert m11 > bicubic - 0.1
+    assert m5 > fsrcnn - 0.05

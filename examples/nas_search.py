@@ -1,0 +1,90 @@
+"""Hardware-aware NAS over SESR backbones (paper §3.4, Fig. 9).
+
+Searches for collapsible-linear-block kernels — including even-sized (2×2)
+and asymmetric (2×1, 3×2, ...) kernels — under a latency constraint from
+the calibrated NPU model, then compares the discovered architecture against
+the manually-designed SESR-M5 after identical training.
+
+Run:  python examples/nas_search.py
+"""
+
+from repro.datasets import PatchSampler, SyntheticDataset, benchmark_suites
+from repro.hw import ETHOS_N78_4TOPS
+from repro.nas import (
+    DNASConfig,
+    SESRSupernet,
+    genotype_latency_ms,
+    realize,
+    search,
+    sesr_m_genotype,
+)
+from repro.train import ExperimentConfig, evaluate_model, run_experiment
+from repro.utils import format_table
+
+LATENCY_RES = (200, 200)  # the paper's 200x200 -> 400x400 benchmark task
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    train_ds = SyntheticDataset("div2k", n_images=8, size=(96, 96),
+                                scale=2, seed=21)
+    sampler = PatchSampler(train_ds, scale=2, patch_size=12,
+                           crops_per_image=8, batch_size=6, seed=22)
+    supernet = SESRSupernet(scale=2, f=16, slots=5, expansion=32, seed=3)
+    config = DNASConfig(steps=80, latency_weight=0.01,
+                        latency_res=LATENCY_RES)
+
+    print("searching (DNAS, Gumbel-softmax gates, NPU latency penalty)...")
+    result = search(supernet, sampler, config, npu=ETHOS_N78_4TOPS)
+    print(f"  task loss: {result.loss_history[0]:.4f} -> "
+          f"{result.loss_history[-1]:.4f}")
+    print(f"  expected latency: {result.latency_history[0]:.3f} -> "
+          f"{result.latency_history[-1]:.3f} ms")
+    print(f"  derived architecture: {result.genotype.describe()}")
+
+    # ------------------------------------------------------------------ #
+    # compare against the manual SESR-M5
+    # ------------------------------------------------------------------ #
+    baseline = sesr_m_genotype(5, f=16, scale=2)
+    train_cfg = ExperimentConfig(
+        scale=2, epochs=10, train_images=10, train_size=(96, 96),
+        patch_size=16, crops_per_image=16, batch_size=8, lr=1e-3,
+    )
+    suites = benchmark_suites(2, names=("set5", "div2k-val"),
+                              size=(96, 96), n_images=4)
+
+    rows = []
+    for label, genotype in [("NAS-guided", result.genotype),
+                            ("manual SESR-M5", baseline)]:
+        model = realize(genotype, expansion=64, seed=0)
+        run_experiment(model, train_cfg)
+        metrics = {n: evaluate_model(model, s) for n, s in suites.items()}
+        latency = genotype_latency_ms(genotype, ETHOS_N78_4TOPS, *LATENCY_RES)
+        rows.append([
+            label,
+            genotype.describe(),
+            f"{latency:.3f}ms",
+            f"{genotype.num_parameters() / 1e3:.2f}K",
+            f"{metrics['set5']['psnr']:.2f}dB",
+            f"{metrics['div2k-val']['psnr']:.2f}dB",
+        ])
+        print(f"trained {label}")
+
+    print()
+    print(format_table(
+        ["model", "architecture", "NPU latency", "params",
+         "PSNR set5", "PSNR div2k-val"],
+        rows,
+        title="NAS-guided vs manually-designed SESR (paper: -15% latency, "
+              "same PSNR)",
+    ))
+    print("\nNote: at this demo's short training budget small architectures "
+          "converge fastest,\nso the search leans hard toward skips and "
+          "even/asymmetric kernels; the paper's\nfull-scale search keeps "
+          "more capacity while still cutting latency 15%.")
+
+
+if __name__ == "__main__":
+    main()

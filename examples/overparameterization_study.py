@@ -1,0 +1,102 @@
+"""Overparameterization study: why SESR's block beats ExpandNets and RepVGG.
+
+Reproduces the paper's §4 theory and §5.4 experiment at demo scale:
+
+1. gradient-descent trajectories of the four parameterizations on a linear
+   regression problem — showing RepVGG coincides exactly with VGG at a
+   doubled learning rate (Eq. 5) while SESR/ExpandNet are adaptive;
+2. the vanishing-gradient depth sweep that motivates collapsible short
+   residuals;
+3. a small head-to-head SISR training run of the four block types under
+   an identical protocol.
+
+Run:  python examples/overparameterization_study.py
+"""
+
+import numpy as np
+
+from repro.core import build_sesr_variant
+from repro.datasets import benchmark_suites
+from repro.theory import (
+    RepVGGLinear,
+    VGGLinear,
+    chain_gradient_magnitude,
+    compare_schemes,
+    make_regression,
+    train,
+)
+from repro.train import ExperimentConfig, run_experiment
+from repro.utils import format_table
+
+
+def theory_part() -> None:
+    print("=== 1. Gradient-descent trajectories (Eq. 1 regression) ===")
+    trajectories = compare_schemes(d=6, k=6, n=256, lr=0.02, steps=200, seed=0)
+    rows = [
+        [name, f"{t.losses[0]:.4f}", f"{t.losses[50]:.5f}", f"{t.final_loss:.6f}"]
+        for name, t in trajectories.items()
+    ]
+    print(format_table(["scheme", "loss t=0", "t=50", "t=200"], rows))
+
+    rng = np.random.default_rng(1)
+    x, y, _ = make_regression(6, 6, 256, rng)
+    beta0 = 0.1 * rng.standard_normal((6, 6))
+    t_rep = train(RepVGGLinear(beta0), x, y, lr=1e-3, steps=100)
+    t_vgg = train(VGGLinear(beta0), x, y, lr=2e-3, steps=100)  # doubled lr
+    gap = max(np.abs(a - b).max() for a, b in zip(t_rep.betas, t_vgg.betas))
+    print(f"\nEq. 5 check — max |beta_RepVGG(eta) - beta_VGG(2*eta)| over "
+          f"100 steps: {gap:.2e}")
+    print("(RepVGG's update is *exactly* VGG with doubled lr: no adaptivity.)")
+
+    print("\n=== 2. Vanishing gradients vs depth ===")
+    rows = []
+    for depth in (6, 13, 26, 52):
+        no_res = np.mean([chain_gradient_magnitude(depth, False,
+                                                   np.random.default_rng(i))
+                          for i in range(300)])
+        with_res = np.mean([chain_gradient_magnitude(depth, True,
+                                                     np.random.default_rng(i))
+                            for i in range(300)])
+        rows.append([depth, f"{no_res:.2e}", f"{with_res:.2e}"])
+    print(format_table(
+        ["depth", "|grad| no residuals", "|grad| with residuals"], rows
+    ))
+    print("(ExpandNet doubles effective depth 13 -> 26; without short "
+          "residuals the gradient signal collapses.)")
+
+
+def sisr_part() -> None:
+    print("\n=== 3. Head-to-head SISR training (SESR-M11 skeleton) ===")
+    config = ExperimentConfig(
+        scale=2, epochs=8, train_images=8, train_size=(96, 96),
+        patch_size=16, crops_per_image=12, batch_size=8, lr=1e-3,
+    )
+    suites = benchmark_suites(2, names=("set5", "div2k-val"),
+                              size=(96, 96), n_images=4)
+    rows = []
+    for variant in ("sesr", "expandnet", "repvgg", "vgg"):
+        model = build_sesr_variant(variant, scale=2, f=16, m=11,
+                                   expansion=256, seed=0)
+        result = run_experiment(model, config, suites)
+        rows.append([
+            variant,
+            f"{result.psnr('set5'):.2f}dB",
+            f"{result.psnr('div2k-val'):.2f}dB",
+            f"{result.train.final_loss:.4f}",
+        ])
+        print(f"  trained {variant}")
+    print(format_table(
+        ["block type", "PSNR set5", "PSNR div2k-val", "final train loss"],
+        rows,
+    ))
+    print("(Paper, full scale: SESR 35.45 > RepVGG 35.35 ~ VGG 35.34 "
+          ">> ExpandNet 33.65 on DIV2K val.)")
+
+
+def main() -> None:
+    theory_part()
+    sisr_part()
+
+
+if __name__ == "__main__":
+    main()

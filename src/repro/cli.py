@@ -1,0 +1,272 @@
+"""Command-line interface: train / eval / upscale / collapse / estimate / nas.
+
+Examples
+--------
+Train a SESR-M5 on the synthetic corpus and save a checkpoint::
+
+    python -m repro.cli train --model M5 --scale 2 --epochs 20 \
+        --out sesr_m5_x2.npz
+
+Evaluate it on the benchmark suites::
+
+    python -m repro.cli eval --model M5 --scale 2 --ckpt sesr_m5_x2.npz
+
+Upscale a real image (PGM/PPM; colour images are processed on the Y
+channel, as in the paper)::
+
+    python -m repro.cli upscale --model M5 --scale 2 --ckpt sesr_m5_x2.npz \
+        --input photo.ppm --output photo_x2.ppm --tile 128
+
+Simulate NPU performance for 1080p -> 4K (Table 3)::
+
+    python -m repro.cli estimate --resolution 1920x1080
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+def _build_model(name: str, scale: int, seed: int = 0):
+    from .core import FSRCNN, SESR
+
+    if name.upper() == "FSRCNN":
+        return FSRCNN(scale=scale, seed=seed)
+    return SESR.from_name(name, scale=scale, seed=seed)
+
+
+def _resolution(text: str):
+    w, h = text.lower().split("x")
+    return int(h), int(w)
+
+
+# ---------------------------------------------------------------------- #
+# commands
+# ---------------------------------------------------------------------- #
+def cmd_train(args: argparse.Namespace) -> int:
+    from .datasets import benchmark_suites
+    from .nn import save_state
+    from .train import ExperimentConfig, run_experiment
+
+    model = _build_model(args.model, args.scale, args.seed)
+    config = ExperimentConfig(
+        scale=args.scale, epochs=args.epochs, train_images=args.images,
+        patch_size=args.patch, lr=args.lr, seed=args.seed,
+    )
+    suites = benchmark_suites(args.scale, names=("set5", "div2k-val"))
+    print(f"training {args.model} (x{args.scale}) for {args.epochs} epochs ...")
+    result = run_experiment(
+        model, config, suites,
+        log_fn=(lambda s, l: print(f"  step {s}: loss {l:.4f}"))
+        if args.verbose else None,
+    )
+    print(f"final loss: {result.train.final_loss:.4f}")
+    for suite, metrics in result.metrics.items():
+        print(f"  {suite}: {metrics['psnr']:.2f} dB / {metrics['ssim']:.4f}")
+    if args.out:
+        save_state(model, args.out)
+        print(f"saved checkpoint: {args.out}")
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from .datasets import ImageFolderDataset, benchmark_suites
+    from .nn import load_state
+    from .train import evaluate_model
+    from .utils import format_table
+
+    model = _build_model(args.model, args.scale, args.seed)
+    if args.ckpt:
+        load_state(model, args.ckpt)
+    if args.data:
+        # Real images: a directory of PGM/PPM HR files.
+        suites = {args.data: ImageFolderDataset(args.data, scale=args.scale)}
+    else:
+        suites = benchmark_suites(args.scale)
+    rows = []
+    for name, ds in suites.items():
+        m = evaluate_model(model, ds)
+        rows.append([name, f"{m['psnr']:.2f}", f"{m['ssim']:.4f}"])
+    print(format_table(["suite", "PSNR (dB)", "SSIM"], rows,
+                       title=f"{args.model} x{args.scale}"))
+    return 0
+
+
+def cmd_upscale(args: argparse.Namespace) -> int:
+    from .datasets import load_image, rgb_to_ycbcr, save_image, ycbcr_to_rgb
+    from .datasets.degradation import bicubic_upscale
+    from .deploy import self_ensemble, tiled_upscale
+    from .nn import load_state
+    from .train import predict_image
+
+    model = _build_model(args.model, args.scale, args.seed)
+    if args.ckpt:
+        load_state(model, args.ckpt)
+    img = load_image(args.input)
+
+    def run_y(y: np.ndarray) -> np.ndarray:
+        if args.ensemble:
+            return self_ensemble(model, y, args.scale)
+        if args.tile:
+            return tiled_upscale(model, y, args.scale,
+                                 tile=(args.tile, args.tile))
+        return predict_image(model, y)
+
+    if img.ndim == 2:
+        out = run_y(img)
+    else:
+        # Paper protocol: super-resolve Y, bicubic-upscale chroma.
+        ycbcr = rgb_to_ycbcr(img)
+        y_sr = run_y(ycbcr[..., 0])
+        cb = bicubic_upscale(ycbcr[..., 1], args.scale)
+        cr = bicubic_upscale(ycbcr[..., 2], args.scale)
+        out = ycbcr_to_rgb(np.stack([y_sr, cb, cr], axis=2))
+    save_image(args.output, out)
+    print(f"{args.input} {img.shape[:2]} -> {args.output} {out.shape[:2]}")
+    return 0
+
+
+def cmd_collapse(args: argparse.Namespace) -> int:
+    from .nn import load_state, save_state
+
+    model = _build_model(args.model, args.scale, args.seed)
+    if args.ckpt:
+        load_state(model, args.ckpt)
+    collapsed = model.collapse()
+    save_state(collapsed, args.out)
+    print(
+        f"collapsed {args.model}: {model.num_parameters():,} training params "
+        f"-> {model.collapsed_num_parameters():,} inference weights "
+        f"({args.out})"
+    )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from .hw import ETHOS_N78_4TOPS, compare_models, fsrcnn_graph, sesr_hw_graph
+
+    h, w = _resolution(args.resolution)
+    graphs = {
+        "FSRCNN": fsrcnn_graph(args.scale, h, w),
+        "SESR-M3": sesr_hw_graph(16, 3, args.scale, h, w),
+        "SESR-M5": sesr_hw_graph(16, 5, args.scale, h, w),
+        "SESR-M7": sesr_hw_graph(16, 7, args.scale, h, w),
+        "SESR-M11": sesr_hw_graph(16, 11, args.scale, h, w),
+        "SESR-XL": sesr_hw_graph(32, 11, args.scale, h, w),
+    }
+    tile = (args.tile, args.tile) if args.tile else None
+    print(f"Simulated Ethos-N78 (4 TOP/s), {args.resolution} x{args.scale}")
+    print(compare_models(graphs, ETHOS_N78_4TOPS, tile=tile))
+    return 0
+
+
+def cmd_nas(args: argparse.Namespace) -> int:
+    from .datasets import PatchSampler, SyntheticDataset
+    from .hw import ETHOS_N78_4TOPS
+    from .nas import (
+        DNASConfig,
+        SESRSupernet,
+        genotype_latency_ms,
+        search,
+        sesr_m_genotype,
+    )
+
+    ds = SyntheticDataset("div2k", n_images=8, size=(96, 96),
+                          scale=args.scale, seed=args.seed)
+    sampler = PatchSampler(ds, scale=args.scale, patch_size=12,
+                           crops_per_image=8, batch_size=6, seed=args.seed)
+    supernet = SESRSupernet(scale=args.scale, f=16, slots=args.slots,
+                            expansion=32, seed=args.seed)
+    config = DNASConfig(steps=args.steps, latency_weight=args.latency_weight)
+    print(f"searching ({args.steps} steps, λ={args.latency_weight}) ...")
+    result = search(supernet, sampler, config, npu=ETHOS_N78_4TOPS)
+    lat = genotype_latency_ms(result.genotype, ETHOS_N78_4TOPS, 200, 200)
+    base = sesr_m_genotype(args.slots, 16, args.scale)
+    lat_base = genotype_latency_ms(base, ETHOS_N78_4TOPS, 200, 200)
+    print(f"found: {result.genotype.describe()}")
+    print(f"simulated latency @200x200: {lat:.3f} ms "
+          f"(manual SESR-M{args.slots}: {lat_base:.3f} ms)")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SESR reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="M5",
+                       help="M3|M5|M7|M11|XL|FSRCNN (default M5)")
+        p.add_argument("--scale", type=int, default=2, choices=(2, 4))
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("train", help="train on the synthetic corpus")
+    common(p)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--images", type=int, default=12)
+    p.add_argument("--patch", type=int, default=16)
+    p.add_argument("--lr", type=float, default=1e-3)
+    p.add_argument("--out", default="", help="checkpoint path (.npz)")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("eval", help="evaluate on the benchmark suites")
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--data", default="",
+                   help="directory of PGM/PPM HR images to evaluate on "
+                        "(default: built-in synthetic suites)")
+    p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser("upscale", help="super-resolve a PGM/PPM image")
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.add_argument("--tile", type=int, default=0,
+                   help="tile size for tiled inference (0 = full frame)")
+    p.add_argument("--ensemble", action="store_true",
+                   help="geometric x8 self-ensemble (slower, ~+0.1 dB)")
+    p.set_defaults(fn=cmd_upscale)
+
+    p = sub.add_parser("collapse", help="export the collapsed inference net")
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_collapse)
+
+    p = sub.add_parser("estimate", help="simulate NPU performance (Table 3)")
+    p.add_argument("--resolution", default="1920x1080", help="WxH input")
+    p.add_argument("--scale", type=int, default=2, choices=(2, 4))
+    p.add_argument("--tile", type=int, default=0)
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("nas", help="run a small hardware-aware DNAS")
+    p.add_argument("--scale", type=int, default=2, choices=(2, 4))
+    p.add_argument("--slots", type=int, default=5)
+    p.add_argument("--steps", type=int, default=80)
+    p.add_argument("--latency-weight", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_nas)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""``repro.core`` — the paper's contribution: SESR and collapsible blocks."""
+
+from .collapse import (
+    collapse_bias,
+    fold_batchnorm,
+    collapse_linear_block,
+    collapse_residual,
+    compose_pair,
+    expand_1x1_to_kxk,
+    identity_conv_rect,
+    max_abs_divergence,
+)
+from .linear_block import CollapsibleLinearBlock
+from .sesr import SESR, SESR_CONFIGS, CollapsedSESR
+from .blocks import (
+    ACBlock,
+    BLOCK_TYPES,
+    CollapsedVGGNet,
+    RepVGGBlock,
+    RepVGGSESR,
+    build_sesr_variant,
+)
+from .fsrcnn import FSRCNN
+from .baselines import ESPCN, SRCNN, VDSR
+from .carn import CARN_M, CascadingBlock, EfficientResidualBlock
+
+__all__ = [
+    "collapse_bias",
+    "fold_batchnorm",
+    "collapse_linear_block",
+    "collapse_residual",
+    "compose_pair",
+    "expand_1x1_to_kxk",
+    "identity_conv_rect",
+    "max_abs_divergence",
+    "CollapsibleLinearBlock",
+    "SESR",
+    "SESR_CONFIGS",
+    "CollapsedSESR",
+    "ACBlock",
+    "BLOCK_TYPES",
+    "CollapsedVGGNet",
+    "RepVGGBlock",
+    "RepVGGSESR",
+    "build_sesr_variant",
+    "FSRCNN",
+    "ESPCN",
+    "SRCNN",
+    "VDSR",
+    "CARN_M",
+    "CascadingBlock",
+    "EfficientResidualBlock",
+]

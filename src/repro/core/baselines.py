@@ -1,0 +1,169 @@
+"""Classic SISR baselines beyond FSRCNN.
+
+The paper's tables quote VDSR; SRCNN and ESPCN are the two lineage
+ancestors every efficient-SR paper (including this one — depth-to-space
+comes from ESPCN's sub-pixel convolution) measures against.  All three are
+fully trainable on the ``repro.nn`` substrate and expose layer specs for
+the MAC counter and the NPU estimator.
+
+SRCNN and VDSR follow the pre-upsampling paradigm: the LR input is
+bicubic-upscaled first and the CNN refines it at HR resolution — which is
+exactly why their MAC counts are 1–2 orders of magnitude above
+post-upsampling designs like ESPCN/FSRCNN/SESR (see VDSR's 612.6G in
+Table 1).  The bicubic pre-upsampling is input preprocessing (no gradients
+flow through it).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datasets.degradation import bicubic_upscale
+from ..metrics.complexity import LayerSpec
+from ..nn import Conv2d, Module, ReLU, Tensor, depth_to_space
+
+
+def _bicubic_batch(x: Tensor, scale: int) -> Tensor:
+    """Bicubic-upscale an NHWC batch (constant preprocessing, no grad)."""
+    data = x.data
+    n, h, w, c = data.shape
+    out = np.empty((n, h * scale, w * scale, c), dtype=np.float32)
+    for i in range(n):
+        for ch in range(c):
+            out[i, :, :, ch] = bicubic_upscale(data[i, :, :, ch], scale)
+    return Tensor(out)
+
+
+class SRCNN(Module):
+    """SRCNN (Dong et al., 2014): 9-5-5 convolutions on bicubic-upscaled input."""
+
+    def __init__(
+        self,
+        scale: int = 2,
+        f1: int = 64,
+        f2: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.f1, self.f2 = f1, f2
+        self.conv1 = Conv2d(1, f1, 9, padding="same", rng=rng)
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(f1, f2, 5, padding="same", rng=rng)
+        self.act2 = ReLU()
+        self.conv3 = Conv2d(f2, 1, 5, padding="same", rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        up = _bicubic_batch(x, self.scale)
+        h = self.act1(self.conv1(up))
+        h = self.act2(self.conv2(h))
+        return self.conv3(h) + up  # global residual speeds convergence
+
+    def specs(self) -> List[LayerSpec]:
+        rs = float(self.scale)
+        return [
+            LayerSpec("conv", (9, 9), 1, self.f1, rs, "conv1_9x9"),
+            LayerSpec("act", (1, 1), self.f1, self.f1, rs, "relu1"),
+            LayerSpec("conv", (5, 5), self.f1, self.f2, rs, "conv2_5x5"),
+            LayerSpec("act", (1, 1), self.f2, self.f2, rs, "relu2"),
+            LayerSpec("conv", (5, 5), self.f2, 1, rs, "conv3_5x5"),
+            LayerSpec("add", (1, 1), 1, 1, rs, "global_residual"),
+        ]
+
+
+class ESPCN(Module):
+    """ESPCN (Shi et al., 2016): the original sub-pixel convolution network.
+
+    Its depth-to-space head is the direct ancestor of SESR's upsampling
+    (paper §3.1 cites it via [28]).
+    """
+
+    def __init__(
+        self,
+        scale: int = 2,
+        f1: int = 64,
+        f2: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.f1, self.f2 = f1, f2
+        self.conv1 = Conv2d(1, f1, 5, padding="same", rng=rng)
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(f1, f2, 3, padding="same", rng=rng)
+        self.act2 = ReLU()
+        self.conv3 = Conv2d(f2, scale * scale, 3, padding="same", rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.act1(self.conv1(x))
+        h = self.act2(self.conv2(h))
+        out = self.conv3(h) + x  # broadcast input residual, as in SESR
+        return depth_to_space(out, self.scale)
+
+    def specs(self) -> List[LayerSpec]:
+        s2 = self.scale * self.scale
+        return [
+            LayerSpec("conv", (5, 5), 1, self.f1, 1.0, "conv1_5x5"),
+            LayerSpec("act", (1, 1), self.f1, self.f1, 1.0, "relu1"),
+            LayerSpec("conv", (3, 3), self.f1, self.f2, 1.0, "conv2_3x3"),
+            LayerSpec("act", (1, 1), self.f2, self.f2, 1.0, "relu2"),
+            LayerSpec("conv", (3, 3), self.f2, s2, 1.0, "conv3_3x3"),
+            LayerSpec("add", (1, 1), 1, s2, 1.0, "input_residual"),
+            LayerSpec("depth_to_space", (1, 1), s2, 1, float(self.scale), "d2s"),
+        ]
+
+
+class VDSR(Module):
+    """VDSR (Kim et al., 2016): 20 3×3 convs at HR + global residual.
+
+    The paper's headline comparison point: SESR-M11 matches its quality
+    with 97× (×2) to 331× (×4) fewer MACs.  The default configuration is
+    the 665K-parameter/612.6G-MAC network of Tables 1–2; ``depth``/``width``
+    shrink it for CPU-trainable experiments.
+    """
+
+    def __init__(
+        self,
+        scale: int = 2,
+        depth: int = 20,
+        width: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if depth < 3:
+            raise ValueError("VDSR needs at least 3 layers")
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.depth, self.width = depth, width
+        self.conv_in = Conv2d(1, width, 3, padding="same", rng=rng)
+        self.act_in = ReLU()
+        self.body: List[Conv2d] = []
+        self.body_acts: List[ReLU] = []
+        for i in range(depth - 2):
+            conv = Conv2d(width, width, 3, padding="same", rng=rng)
+            act = ReLU()
+            setattr(self, f"conv{i}", conv)
+            setattr(self, f"act{i}", act)
+            self.body.append(conv)
+            self.body_acts.append(act)
+        self.conv_out = Conv2d(width, 1, 3, padding="same", rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        up = _bicubic_batch(x, self.scale)
+        h = self.act_in(self.conv_in(up))
+        for conv, act in zip(self.body, self.body_acts):
+            h = act(conv(h))
+        return self.conv_out(h) + up  # the VDSR global residual
+
+    def specs(self) -> List[LayerSpec]:
+        from ..metrics.complexity import vdsr_specs
+
+        return vdsr_specs(self.scale, self.depth, self.width)
+
+    def conv_num_parameters(self) -> int:
+        w, d = self.width, self.depth
+        return 9 * w + (d - 2) * 9 * w * w + 9 * w

@@ -1,0 +1,356 @@
+"""Overparameterization block variants compared in the paper (§4, §5.4).
+
+The paper contrasts four training-time parameterizations of the same
+inference-time VGG-like convolution (Fig. 4):
+
+* **ExpandNets** — k×k → 1×1 linear block, *no* short residual
+  (``β = w₁w₂``); suffers vanishing gradients at depth.
+* **SESR** — linear block *plus* collapsible short residual
+  (``β = w₁w₂ + I``); extra adaptive term in the update.
+* **RepVGG** — k×k conv + parallel 1×1 branch + identity
+  (``β = w₁ + w₂I + I``); update provably identical to plain VGG.
+* **VGG** — plain convolution (``β = w₁``).
+
+:func:`build_sesr_variant` instantiates the full SESR-M11 skeleton with any
+of these block types so the §5.4 experiments train all four under identical
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Module,
+    Parameter,
+    PReLU,
+    ReLU,
+    Tensor,
+    conv2d,
+    depth_to_space,
+)
+from ..nn import init as init_mod
+from .collapse import expand_1x1_to_kxk, fold_batchnorm, identity_conv_rect
+from .sesr import SESR, _copy_act, _upsample_steps
+
+BLOCK_TYPES = ("sesr", "expandnet", "repvgg", "vgg", "plain_residual")
+
+
+class RepVGGBlock(Module):
+    """RepVGG-style overparameterized convolution (Ding et al., 2021).
+
+    A k×k convolution with a parallel 1×1 branch and (optionally, when the
+    channel counts allow) an identity branch; all three branches fold
+    analytically into a single k×k convolution.
+
+    ``batchnorm=True`` reproduces the published RepVGG block exactly —
+    per-branch BatchNorm, including the BN-only identity branch — which
+    collapses via :func:`repro.core.collapse.fold_batchnorm` (the §4
+    analysis, and the default here, is the BN-free linear form).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        identity: bool = True,
+        batchnorm: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if identity and in_channels != out_channels:
+            raise ValueError("identity branch needs matching channel counts")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        k = int(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (k, k)
+        self.identity = identity
+        self.batchnorm = batchnorm
+        self.w_main = Parameter(
+            init_mod.glorot_uniform((k, k, in_channels, out_channels), rng)
+        )
+        self.b_main = Parameter(np.zeros(out_channels, dtype=np.float32))
+        self.w_branch = Parameter(
+            init_mod.glorot_uniform((1, 1, in_channels, out_channels), rng)
+        )
+        self.b_branch = Parameter(np.zeros(out_channels, dtype=np.float32))
+        if batchnorm:
+            self.bn_main = BatchNorm2d(out_channels)
+            self.bn_branch = BatchNorm2d(out_channels)
+            if identity:
+                self.bn_identity = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        main = conv2d(x, self.w_main, self.b_main, padding="same")
+        branch = conv2d(x, self.w_branch, self.b_branch, padding="same")
+        if self.batchnorm:
+            main = self.bn_main(main)
+            branch = self.bn_branch(branch)
+        out = main + branch
+        if self.identity:
+            out = out + (self.bn_identity(x) if self.batchnorm else x)
+        return out
+
+    def collapse(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold all branches (and their BNs) into one k×k ``(weight, bias)``."""
+        k = self.kernel_size[0]
+        w_main, b_main = self.w_main.data, self.b_main.data
+        w_branch, b_branch = self.w_branch.data, self.b_branch.data
+        if self.batchnorm:
+            w_main, b_main = fold_batchnorm(
+                w_main, b_main, self.bn_main.gamma.data,
+                self.bn_main.beta.data, self.bn_main.running_mean,
+                self.bn_main.running_var, self.bn_main.eps,
+            )
+            w_branch, b_branch = fold_batchnorm(
+                w_branch, b_branch, self.bn_branch.gamma.data,
+                self.bn_branch.beta.data, self.bn_branch.running_mean,
+                self.bn_branch.running_var, self.bn_branch.eps,
+            )
+        w = w_main + expand_1x1_to_kxk(w_branch, k, k)
+        b = b_main + b_branch
+        if self.identity:
+            w_id = identity_conv_rect(k, k, self.in_channels)
+            if self.batchnorm:
+                bn = self.bn_identity
+                w_id, b_id = fold_batchnorm(
+                    w_id, None, bn.gamma.data, bn.beta.data,
+                    bn.running_mean, bn.running_var, bn.eps,
+                )
+                b = b + b_id
+            w = w + w_id
+        return w, b
+
+    def to_conv2d(self) -> Conv2d:
+        conv = Conv2d(
+            self.in_channels, self.out_channels, self.kernel_size, padding="same"
+        )
+        w, b = self.collapse()
+        conv.weight.data[...] = w
+        conv.bias.data[...] = b
+        return conv
+
+
+class ACBlock(Module):
+    """ACNet's Asymmetric Convolution Block (Ding et al., 2019; paper ref [9]).
+
+    A k×k convolution strengthened by parallel 1×k and k×1 "skeleton"
+    branches; all three fold into a single k×k convolution by centre-padding
+    the asymmetric kernels.  Included because the paper builds on ACNet's
+    asymmetric-kernel insight for its NAS section (§3.4).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        k = int(kernel_size)
+        if k % 2 == 0:
+            raise ValueError("ACBlock requires an odd square kernel")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (k, k)
+        self.w_square = Parameter(
+            init_mod.glorot_uniform((k, k, in_channels, out_channels), rng)
+        )
+        self.w_hor = Parameter(
+            init_mod.glorot_uniform((1, k, in_channels, out_channels), rng)
+        )
+        self.w_ver = Parameter(
+            init_mod.glorot_uniform((k, 1, in_channels, out_channels), rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = conv2d(x, self.w_square, self.bias, padding="same")
+        out = out + conv2d(x, self.w_hor, padding="same")
+        out = out + conv2d(x, self.w_ver, padding="same")
+        return out
+
+    def collapse(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold the skeleton branches into the square kernel's centre
+        row/column."""
+        k = self.kernel_size[0]
+        mid = (k - 1) // 2
+        w = self.w_square.data.copy()
+        w[mid, :, :, :] += self.w_hor.data[0]
+        w[:, mid, :, :] += self.w_ver.data[:, 0]
+        return w, self.bias.data.copy()
+
+    def to_conv2d(self) -> Conv2d:
+        conv = Conv2d(
+            self.in_channels, self.out_channels, self.kernel_size, padding="same"
+        )
+        w, b = self.collapse()
+        conv.weight.data[...] = w
+        conv.bias.data[...] = b
+        return conv
+
+
+class RepVGGSESR(Module):
+    """SESR topology with RepVGG blocks in place of linear blocks (§5.4).
+
+    The 3×3 trunk blocks use the full RepVGG block (k×k + 1×1 + identity);
+    the 5×5 ends, whose channel counts differ, use k×k + 1×1 only.
+    """
+
+    def __init__(
+        self,
+        scale: int = 2,
+        f: int = 16,
+        m: int = 11,
+        activation: str = "prelu",
+        input_residual: bool = True,
+        feature_residual: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.f = f
+        self.m = m
+        self.input_residual = input_residual
+        self.feature_residual = feature_residual
+        out_channels = scale * scale
+
+        def make_act(channels: int) -> Module:
+            return PReLU(channels) if activation == "prelu" else ReLU()
+
+        self.first = RepVGGBlock(1, f, 5, identity=False, rng=rng)
+        self.act_first = make_act(f)
+        self.blocks: List[RepVGGBlock] = []
+        self.acts: List[Module] = []
+        for i in range(m):
+            blk = RepVGGBlock(f, f, 3, identity=True, rng=rng)
+            act = make_act(f)
+            setattr(self, f"block{i}", blk)
+            setattr(self, f"act{i}", act)
+            self.blocks.append(blk)
+            self.acts.append(act)
+        self.last = RepVGGBlock(f, out_channels, 5, identity=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.act_first(self.first(x))
+        h = feat
+        for blk, act in zip(self.blocks, self.acts):
+            h = act(blk(h))
+        if self.feature_residual:
+            h = h + feat
+        out = self.last(h)
+        if self.input_residual:
+            out = out + x
+        for r in _upsample_steps(self.scale):
+            out = depth_to_space(out, r)
+        return out
+
+    def collapse(self) -> "CollapsedVGGNet":
+        return CollapsedVGGNet(
+            first=self.first.to_conv2d(),
+            act_first=_copy_act(self.act_first),
+            convs=[b.to_conv2d() for b in self.blocks],
+            acts=[_copy_act(a) for a in self.acts],
+            last=self.last.to_conv2d(),
+            scale=self.scale,
+            input_residual=self.input_residual,
+            feature_residual=self.feature_residual,
+        )
+
+
+class CollapsedVGGNet(Module):
+    """Generic collapsed VGG-like SISR net (m+2 convs + long residuals).
+
+    Shared inference container for collapsed RepVGG/ExpandNet variants; the
+    SESR-specific exporter lives in :class:`repro.core.sesr.CollapsedSESR`.
+    """
+
+    def __init__(
+        self,
+        first: Conv2d,
+        act_first: Module,
+        convs: List[Conv2d],
+        acts: List[Module],
+        last: Conv2d,
+        scale: int,
+        input_residual: bool,
+        feature_residual: bool,
+    ) -> None:
+        super().__init__()
+        self.scale = scale
+        self.input_residual = input_residual
+        self.feature_residual = feature_residual
+        self.first = first
+        self.act_first = act_first
+        self.convs = convs
+        self.acts = acts
+        for i, (c, a) in enumerate(zip(convs, acts)):
+            setattr(self, f"conv{i}", c)
+            setattr(self, f"act{i}", a)
+        self.last = last
+        self.eval()
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.act_first(self.first(x))
+        h = feat
+        for conv, act in zip(self.convs, self.acts):
+            h = act(conv(h))
+        if self.feature_residual:
+            h = h + feat
+        out = self.last(h)
+        if self.input_residual:
+            out = out + x
+        for r in _upsample_steps(self.scale):
+            out = depth_to_space(out, r)
+        return out
+
+
+def build_sesr_variant(
+    block_type: str,
+    scale: int = 2,
+    f: int = 16,
+    m: int = 11,
+    expansion: int = 256,
+    activation: str = "prelu",
+    seed: int = 0,
+    **kwargs,
+) -> Module:
+    """Build the SESR skeleton with one of the §5.4 block types.
+
+    ``"sesr"``              linear blocks + short residuals (the paper's method)
+    ``"expandnet"``         linear blocks, no short residuals
+    ``"repvgg"``            k×k + 1×1 branch + identity blocks
+    ``"vgg"``               plain convolutions (fully collapsed training)
+    ``"plain_residual"``    plain convolutions + short residuals (§5.5 ablation)
+    """
+    if block_type not in BLOCK_TYPES:
+        raise ValueError(f"block_type must be one of {BLOCK_TYPES}")
+    if block_type == "repvgg":
+        return RepVGGSESR(
+            scale=scale, f=f, m=m, activation=activation, seed=seed, **kwargs
+        )
+    flags = {
+        "sesr": dict(linear_blocks=True, short_residuals=True),
+        "expandnet": dict(linear_blocks=True, short_residuals=False),
+        "vgg": dict(linear_blocks=False, short_residuals=False),
+        "plain_residual": dict(linear_blocks=False, short_residuals=True),
+    }[block_type]
+    return SESR(
+        scale=scale,
+        f=f,
+        m=m,
+        expansion=expansion,
+        activation=activation,
+        seed=seed,
+        **flags,
+        **kwargs,
+    )

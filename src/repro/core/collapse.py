@@ -1,0 +1,180 @@
+"""Analytic collapse of linear blocks and residuals (paper Algorithms 1 & 2).
+
+These functions operate on plain NumPy weights and are the *export* path
+(training-time collapse uses the differentiable ``repro.nn.ops.compose_*``
+helpers — see :mod:`repro.core.linear_block`).  Algorithm 1 is implemented
+line-for-line from the paper's pseudocode: run the linear block's convolution
+stack over a zero-padded identity ("delta") input and read the impulse
+response back out as the collapsed weight.  It works for *any* sequence of
+linear convolutions, not just the k×k → 1×1 pair, which is what makes it the
+trustworthy reference that the fast algebraic path is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, conv2d, no_grad
+
+
+def collapse_linear_block(
+    weights: Sequence[np.ndarray],
+    kernel_size: Tuple[int, int],
+    in_channels: int,
+    out_channels: int,
+) -> np.ndarray:
+    """Paper **Algorithm 1** — collapse a stack of linear convs into one weight.
+
+    Parameters
+    ----------
+    weights:
+        HWIO weights ``W_1..W_L`` of the linear block's convolutions, in
+        forward order (e.g. ``[W_kxk, W_1x1]``).
+    kernel_size:
+        Effective kernel ``(kh, kw)`` of the collapsed convolution; must equal
+        the sum of the per-layer kernel extents minus overlaps
+        (``1 + Σ(k_i - 1)``).
+    in_channels, out_channels:
+        ``N_in`` and ``N_out`` of the collapsed convolution.
+
+    Returns
+    -------
+    np.ndarray
+        Collapsed weight ``W_C`` of shape ``(kh, kw, in_channels, out_channels)``.
+    """
+    kh, kw = kernel_size
+    expected_kh = 1 + sum(w.shape[0] - 1 for w in weights)
+    expected_kw = 1 + sum(w.shape[1] - 1 for w in weights)
+    if (expected_kh, expected_kw) != (kh, kw):
+        raise ValueError(
+            f"declared kernel {kernel_size} does not match stacked receptive "
+            f"field {(expected_kh, expected_kw)}"
+        )
+    if weights[0].shape[2] != in_channels:
+        raise ValueError("first weight's C_in must equal in_channels")
+    if weights[-1].shape[3] != out_channels:
+        raise ValueError("last weight's C_out must equal out_channels")
+
+    # Δ ← identity(N_in); expand to NHWC; zero-pad spatially by (k-1, k-1).
+    delta = np.eye(in_channels, dtype=weights[0].dtype)
+    delta = delta[:, None, None, :]  # (N_in, 1, 1, N_in)
+    delta = np.pad(delta, ((0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1), (0, 0)))
+
+    with no_grad():
+        x = Tensor(delta, dtype=delta.dtype)
+        for w in weights:
+            x = conv2d(x, Tensor(np.asarray(w)), padding="valid")
+    response = x.data  # (N_in, kh, kw, N_out)
+    if response.shape != (in_channels, kh, kw, out_channels):
+        raise AssertionError(
+            f"unexpected collapsed response shape {response.shape}"
+        )
+    # W_C ← transpose(reverse(x, [1, 2]), [1, 2, 0, 3])
+    w_c = np.flip(response, axis=(1, 2)).transpose(1, 2, 0, 3)
+    return np.ascontiguousarray(w_c)
+
+
+def collapse_bias(
+    weights: Sequence[np.ndarray], biases: Sequence[Optional[np.ndarray]]
+) -> np.ndarray:
+    """Fold per-layer biases through the linear stack.
+
+    A constant per-channel offset entering a convolution emerges as
+    ``Σ_{h,w,i} W[h,w,i,o] · b_in[i] + b_layer[o]`` — the spatial taps all see
+    the same constant.  Applying this recursively yields the bias of the
+    collapsed convolution.
+    """
+    acc = np.zeros(weights[0].shape[2], dtype=np.float64)
+    for w, b in zip(weights, biases):
+        acc = np.tensordot(acc, w.sum(axis=(0, 1)), axes=(0, 0))
+        if b is not None:
+            acc = acc + b
+    return acc.astype(weights[0].dtype)
+
+
+def collapse_residual(w_c: np.ndarray) -> np.ndarray:
+    """Paper **Algorithm 2** — the residual add as a convolution weight.
+
+    Returns ``W_R`` with ``W_R[idx, idx, i, i] = 1`` at the spatial centre
+    (``idx = 1`` for 3×3, ``idx = 2`` for 5×5), so that
+    ``conv(x, W_C + W_R) == conv(x, W_C) + x``.
+    """
+    kh, kw, cin, cout = w_c.shape
+    if cin != cout:
+        raise ValueError(
+            f"residual collapse needs C_in == C_out, got {cin} vs {cout}"
+        )
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("residual collapse requires odd kernel sizes")
+    return identity_conv_rect(kh, kw, cin)
+
+
+def identity_conv_rect(kh: int, kw: int, channels: int) -> np.ndarray:
+    """Identity kernel for (possibly non-square) odd kernel sizes."""
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("identity kernels require odd kernel sizes")
+    w = np.zeros((kh, kw, channels, channels), dtype=np.float32)
+    w[(kh - 1) // 2, (kw - 1) // 2, np.arange(channels), np.arange(channels)] = 1.0
+    return w
+
+
+def compose_pair(w_kxk: np.ndarray, w_1x1: np.ndarray) -> np.ndarray:
+    """Fast algebraic collapse of the k×k → 1×1 pair (NumPy, export path).
+
+    Equivalent to :func:`collapse_linear_block` for the two-layer case; kept
+    as an independent implementation so tests can cross-validate the two.
+    """
+    kh, kw, cin, p = w_kxk.shape
+    return np.tensordot(w_kxk, w_1x1[0, 0], axes=([3], [0]))
+
+
+def expand_1x1_to_kxk(w_1x1: np.ndarray, kh: int, kw: int) -> np.ndarray:
+    """Zero-pad a 1×1 weight to k×k with the tap at the spatial centre.
+
+    Needed to fold RepVGG's parallel 1×1 branch into the main k×k weight.
+    """
+    if w_1x1.shape[0] != 1 or w_1x1.shape[1] != 1:
+        raise ValueError(f"expected 1×1 weight, got {w_1x1.shape}")
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("centre-padding requires odd target kernel")
+    out = np.zeros((kh, kw) + w_1x1.shape[2:], dtype=w_1x1.dtype)
+    out[(kh - 1) // 2, (kw - 1) // 2] = w_1x1[0, 0]
+    return out
+
+
+def fold_batchnorm(
+    w: np.ndarray,
+    b: Optional[np.ndarray],
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an (inference-mode) BatchNorm into the preceding convolution.
+
+    ``BN(conv(x, w) + b) == conv(x, w') + b'`` with
+
+        w' = w · γ/√(σ²+ε)   (per output channel)
+        b' = (b − μ) · γ/√(σ²+ε) + β
+
+    Used to collapse the BN-equipped RepVGG block (its published form) the
+    same way Arm-style deployment pipelines do before reparameterization.
+    """
+    scale = gamma / np.sqrt(var + eps)
+    w_f = (w * scale[None, None, None, :]).astype(w.dtype)
+    b0 = np.zeros_like(mean) if b is None else b
+    b_f = ((b0 - mean) * scale + beta).astype(w.dtype)
+    return w_f, b_f
+
+
+def max_abs_divergence(
+    expanded_fn, collapsed_fn, x: np.ndarray
+) -> float:
+    """Max |expanded(x) − collapsed(x)| — used by collapse-equivalence tests."""
+    with no_grad():
+        a = expanded_fn(Tensor(x)).data
+        b = collapsed_fn(Tensor(x)).data
+    return float(np.abs(a - b).max())

@@ -1,0 +1,75 @@
+"""FSRCNN baseline (Dong et al., ECCV 2016) — the paper's main tiny-CNN rival.
+
+Standard FSRCNN(d, s, m) on the Y channel:
+
+    5×5 conv  1 → d   + PReLU        feature extraction
+    1×1 conv  d → s   + PReLU        shrinking
+    m × [3×3 conv s → s + PReLU]     mapping
+    1×1 conv  s → d   + PReLU        expanding
+    9×9 deconv d → 1, stride=scale   upsampling
+
+Defaults d=56, s=12, m=4 match the configuration benchmarked in the paper
+("FSRCNN (our setup)", Tables 1–2).  The paper's §5.5/§5.6 hardware variant
+replaces PReLU with ReLU; pass ``activation="relu"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2d, ConvTranspose2d, Module, PReLU, ReLU, Tensor
+
+
+class FSRCNN(Module):
+    """Trainable FSRCNN on NHWC Y-channel images."""
+
+    def __init__(
+        self,
+        scale: int = 2,
+        d: int = 56,
+        s: int = 12,
+        m: int = 4,
+        activation: str = "prelu",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if activation not in ("prelu", "relu"):
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.d, self.s, self.m = d, s, m
+        self.activation = activation
+
+        def act(channels: int) -> Module:
+            return PReLU(channels) if activation == "prelu" else ReLU()
+
+        self.feature = Conv2d(1, d, 5, padding="same", rng=rng)
+        self.act_feature = act(d)
+        self.shrink = Conv2d(d, s, 1, padding="same", rng=rng)
+        self.act_shrink = act(s)
+        self.mapping = []
+        self.map_acts = []
+        for i in range(m):
+            conv = Conv2d(s, s, 3, padding="same", rng=rng)
+            a = act(s)
+            setattr(self, f"map{i}", conv)
+            setattr(self, f"map_act{i}", a)
+            self.mapping.append(conv)
+            self.map_acts.append(a)
+        self.expand = Conv2d(s, d, 1, padding="same", rng=rng)
+        self.act_expand = act(d)
+        self.deconv = ConvTranspose2d(d, 1, 9, stride=scale, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Upscale NHWC input ``(N, H, W, 1)`` to ``(N, sH, sW, 1)``."""
+        h = self.act_feature(self.feature(x))
+        h = self.act_shrink(self.shrink(h))
+        for conv, a in zip(self.mapping, self.map_acts):
+            h = a(conv(h))
+        h = self.act_expand(self.expand(h))
+        return self.deconv(h)
+
+    def conv_num_parameters(self) -> int:
+        """Conv/deconv weights only (the convention of the paper's tables)."""
+        d, s, m = self.d, self.s, self.m
+        return 25 * d + d * s + m * 9 * s * s + s * d + 81 * d

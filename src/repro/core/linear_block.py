@@ -1,0 +1,202 @@
+"""The Collapsible Linear Block (paper §3.1, Fig. 2(b)).
+
+A ``k×k`` linear block with ``x`` input and ``y`` output channels:
+
+1. a ``k×k`` convolution expanding to ``p`` intermediate channels (p ≫ x),
+2. a ``1×1`` convolution projecting ``p`` back to ``y``,
+3. *no* non-linearity in between, so the pair collapses analytically into a
+   single narrow ``k×k`` convolution at inference time,
+4. optionally a *collapsible* short residual (identity kernel added to the
+   collapsed weight — Algorithm 2), with any non-linearity applied by the
+   caller **after** the residual add.
+
+Two training modes (paper §3.3, Fig. 3):
+
+``collapsed`` (default)
+    Collapse the weights at every step with differentiable weight-space
+    composition and convolve once with the small collapsed kernel.  The
+    forward pass runs in collapsed space even during training, while the
+    backward pass still updates the expanded weights — this is the paper's
+    efficient implementation (41.77B → 1.84B forward MACs for SESR-M5).
+
+``expanded``
+    Run the two convolutions explicitly (the naive implementation, and also
+    how ExpandNets trains).  Kept for the Fig.-3 benchmark and equivalence
+    tests; both modes compute identical functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    Module,
+    Parameter,
+    Tensor,
+    compose_bias_1x1,
+    compose_conv_1x1,
+    conv2d,
+)
+from ..nn import init as init_mod
+from .collapse import (
+    collapse_bias,
+    collapse_linear_block,
+    collapse_residual,
+    identity_conv_rect,
+)
+
+TRAINING_MODES = ("collapsed", "expanded")
+
+
+def _as_pair(k: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    return (k, k) if isinstance(k, int) else (int(k[0]), int(k[1]))
+
+
+class CollapsibleLinearBlock(Module):
+    """Linear overparameterization block that collapses to one k×k conv.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        ``x`` and ``y`` in the paper's notation.
+    kernel_size:
+        ``k`` (int or pair — pairs support the NAS section's even-sized and
+        asymmetric kernels).
+    expansion:
+        ``p``, the intermediate width (paper uses 256).
+    residual:
+        Add a collapsible short residual (requires ``x == y`` and odd
+        kernels).  The caller applies the activation after this block.
+    mode:
+        ``"collapsed"`` or ``"expanded"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]] = 3,
+        expansion: int = 256,
+        residual: bool = False,
+        mode: str = "collapsed",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if mode not in TRAINING_MODES:
+            raise ValueError(f"mode must be one of {TRAINING_MODES}, got {mode!r}")
+        kh, kw = _as_pair(kernel_size)
+        if residual:
+            if in_channels != out_channels:
+                raise ValueError("residual blocks need in_channels == out_channels")
+            if kh % 2 == 0 or kw % 2 == 0:
+                raise ValueError("residual blocks need odd kernel sizes")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.expansion = expansion
+        self.residual = residual
+        self.mode = mode
+        self.w_expand = Parameter(
+            init_mod.glorot_uniform((kh, kw, in_channels, expansion), rng)
+        )
+        self.b_expand = Parameter(np.zeros(expansion, dtype=np.float32))
+        self.w_project = Parameter(
+            init_mod.glorot_uniform((1, 1, expansion, out_channels), rng)
+        )
+        self.b_project = Parameter(np.zeros(out_channels, dtype=np.float32))
+        if residual:
+            self._w_identity = identity_conv_rect(kh, kw, in_channels)
+        else:
+            self._w_identity = None
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+    def collapsed_weight(self) -> Tensor:
+        """Differentiable collapsed weight W = compose(W₁, W₂) (+ W_R)."""
+        w = compose_conv_1x1(self.w_expand, self.w_project)
+        if self.residual:
+            w = w + Tensor(self._w_identity)
+        return w
+
+    def collapsed_bias(self) -> Tensor:
+        """Differentiable collapsed bias (residual adds no bias)."""
+        return compose_bias_1x1(self.b_expand, self.w_project, self.b_project)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the block (collapsed or expanded execution per ``mode``)."""
+        if self.mode == "collapsed":
+            return conv2d(
+                x, self.collapsed_weight(), self.collapsed_bias(), padding="same"
+            )
+        # Expanded (naive / ExpandNet-style) execution.
+        h = conv2d(x, self.w_expand, self.b_expand, padding="same")
+        h = conv2d(h, self.w_project, self.b_project, padding="same")
+        if self.residual:
+            h = h + x
+        return h
+
+    # ------------------------------------------------------------------ #
+    # export (Algorithms 1 & 2)
+    # ------------------------------------------------------------------ #
+    def collapse(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Export the trained block as a single conv's ``(weight, bias)``.
+
+        Uses the paper's Algorithm 1 (conv over an identity delta input) and
+        Algorithm 2 (identity kernel for the residual) on the raw NumPy
+        weights — independent of the fast path used during training, which
+        tests exploit for cross-validation.
+        """
+        w_c = collapse_linear_block(
+            [self.w_expand.data, self.w_project.data],
+            self.kernel_size,
+            self.in_channels,
+            self.out_channels,
+        )
+        if self.residual:
+            w_c = w_c + collapse_residual(w_c)
+        b_c = collapse_bias(
+            [self.w_expand.data, self.w_project.data],
+            [self.b_expand.data, self.b_project.data],
+        )
+        return w_c, b_c
+
+    def to_conv2d(self) -> Conv2d:
+        """Materialise the collapsed block as a plain :class:`Conv2d` layer."""
+        conv = Conv2d(
+            self.in_channels,
+            self.out_channels,
+            self.kernel_size,
+            padding="same",
+            bias=True,
+        )
+        w, b = self.collapse()
+        conv.weight.data[...] = w
+        conv.bias.data[...] = b
+        return conv
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def collapsed_num_parameters(self, include_bias: bool = False) -> int:
+        """Parameter count of the *inference-time* collapsed convolution."""
+        kh, kw = self.kernel_size
+        n = kh * kw * self.in_channels * self.out_channels
+        return n + (self.out_channels if include_bias else 0)
+
+    def set_mode(self, mode: str) -> None:
+        """Switch between collapsed/expanded training execution."""
+        if mode not in TRAINING_MODES:
+            raise ValueError(f"mode must be one of {TRAINING_MODES}, got {mode!r}")
+        self.mode = mode
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CollapsibleLinearBlock({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel_size}, p={self.expansion}, "
+            f"residual={self.residual}, mode={self.mode})"
+        )

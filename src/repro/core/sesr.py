@@ -1,0 +1,315 @@
+"""SESR model family (paper §3.1–§3.2, Fig. 2).
+
+Training-time network (Fig. 2(a)):
+
+    input (Y channel, 1ch)
+      → 5×5 linear block (1 → f) → PReLU            ... "first"
+      → m × [3×3 linear block (f → f) + short residual → PReLU]
+      → + output of first block                      ... long *blue* residual
+      → 5×5 linear block (f → SCALE²)                ... "last"
+      → + input image (broadcast over channels)      ... long *black* residual
+      → depth-to-space (×2 once for SCALE=2, twice for SCALE=4)
+
+Inference-time network (Fig. 2(d)): every linear block and short residual is
+collapsed, leaving a VGG-like stack of m+2 narrow convolutions plus the two
+long residuals.
+
+Standard configurations (§5.1): M3/M5/M7/M11 with f=16 and XL with f=32,
+m=11; intermediate expansion p=256.  The hardware-friendly variant (§5.5)
+replaces PReLU with ReLU and drops the long black residual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    Module,
+    PReLU,
+    ReLU,
+    Tensor,
+    depth_to_space,
+)
+from .linear_block import CollapsibleLinearBlock
+
+#: Named configurations from the paper (§5.1): name -> (f, m).
+SESR_CONFIGS: Dict[str, Tuple[int, int]] = {
+    "M3": (16, 3),
+    "M5": (16, 5),
+    "M7": (16, 7),
+    "M11": (16, 11),
+    "XL": (32, 11),
+}
+
+
+def _upsample_steps(scale: int) -> List[int]:
+    """Depth-to-space schedule: ×2 → [2]; ×4 → [2, 2] (paper §5.1)."""
+    if scale == 2:
+        return [2]
+    if scale == 4:
+        return [2, 2]
+    raise ValueError(f"SESR supports scale 2 or 4, got {scale}")
+
+
+class SESR(Module):
+    """Training-time SESR network built from Collapsible Linear Blocks.
+
+    Parameters
+    ----------
+    scale:
+        Super-resolution factor, 2 or 4.
+    f:
+        Feature width of all blocks except the last (paper's ``f``).
+    m:
+        Number of 3×3 linear blocks (paper's ``m``).
+    expansion:
+        Intermediate width ``p`` inside each linear block (paper uses 256).
+    activation:
+        ``"prelu"`` (paper default) or ``"relu"`` (hardware variant, §5.5).
+    input_residual:
+        Long *black* input→output residual (dropped in the hardware variant).
+    feature_residual:
+        Long *blue* residual from the first block's output.
+    short_residuals:
+        Collapsible residuals over the 3×3 blocks (ablation §5.4/§5.5;
+        disabling them reproduces the ExpandNets training configuration).
+    linear_blocks:
+        When ``False``, use plain narrow convolutions instead of linear
+        blocks (the "short residuals alone" ablation, §5.5).
+    mode:
+        ``"collapsed"`` (efficient, §3.3) or ``"expanded"`` training forward.
+    two_stage_head:
+        ×4 only.  The paper's ×4 head is a *single* 5×5×f×16 convolution
+        followed by depth-to-space twice (saving MACs, §5.1); the paper's
+        future-work note suggests "extra upsampling convolutions like in
+        prior art" may close the remaining quality gap to large CNNs.
+        ``two_stage_head=True`` implements that variant: two (5×5 conv →
+        depth-to-space ×2) stages, the second operating at 2× resolution.
+    """
+
+    def __init__(
+        self,
+        scale: int = 2,
+        f: int = 16,
+        m: int = 5,
+        expansion: int = 256,
+        activation: str = "prelu",
+        input_residual: bool = True,
+        feature_residual: bool = True,
+        short_residuals: bool = True,
+        linear_blocks: bool = True,
+        mode: str = "collapsed",
+        two_stage_head: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if activation not in ("prelu", "relu"):
+            raise ValueError(f"unknown activation {activation!r}")
+        if two_stage_head and scale != 4:
+            raise ValueError("two_stage_head applies to scale 4 only")
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.f = f
+        self.m = m
+        self.expansion = expansion
+        self.activation = activation
+        self.input_residual = input_residual and not two_stage_head
+        self.feature_residual = feature_residual
+        self.short_residuals = short_residuals
+        self.linear_blocks = linear_blocks
+        self.two_stage_head = two_stage_head
+        out_channels = scale * scale
+
+        def make_block(cin: int, cout: int, k: int, residual: bool) -> Module:
+            if linear_blocks:
+                return CollapsibleLinearBlock(
+                    cin, cout, k, expansion=expansion, residual=residual,
+                    mode=mode, rng=rng,
+                )
+            return _PlainBlock(cin, cout, k, residual=residual, rng=rng)
+
+        def make_act(channels: int) -> Module:
+            return PReLU(channels) if activation == "prelu" else ReLU()
+
+        self.first = make_block(1, f, 5, residual=False)
+        self.act_first = make_act(f)
+        self.blocks: List[Module] = []
+        self.acts: List[Module] = []
+        for i in range(m):
+            blk = make_block(f, f, 3, residual=short_residuals)
+            act = make_act(f)
+            setattr(self, f"block{i}", blk)
+            setattr(self, f"act{i}", act)
+            self.blocks.append(blk)
+            self.acts.append(act)
+        if two_stage_head:
+            # Future-work variant: conv(f -> 4f) + d2s, conv(f -> 4) + d2s.
+            self.last = make_block(f, 4 * f, 5, residual=False)
+            self.act_last = make_act(4 * f)
+            self.last2 = make_block(f, 4, 5, residual=False)
+        else:
+            self.last = make_block(f, out_channels, 5, residual=False)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        """Upscale NHWC input ``(N, H, W, 1)`` to ``(N, sH, sW, 1)``."""
+        feat = self.act_first(self.first(x))
+        h = feat
+        for blk, act in zip(self.blocks, self.acts):
+            h = act(blk(h))
+        if self.feature_residual:
+            h = h + feat
+        if self.two_stage_head:
+            out = depth_to_space(self.act_last(self.last(h)), 2)
+            return depth_to_space(self.last2(out), 2)
+        out = self.last(h)
+        if self.input_residual:
+            out = out + x  # broadcast 1 channel over SCALE² channels
+        for r in _upsample_steps(self.scale):
+            out = depth_to_space(out, r)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def set_mode(self, mode: str) -> None:
+        """Switch every linear block between collapsed/expanded training."""
+        for _, module in self.named_modules():
+            if isinstance(module, CollapsibleLinearBlock):
+                module.set_mode(mode)
+
+    def collapse(self) -> "CollapsedSESR":
+        """Export the inference-time network (Fig. 2(d)) via Algorithms 1–2."""
+        return CollapsedSESR(self)
+
+    def convert_scale(self, new_scale: int) -> "SESR":
+        """Re-head a trained model for a different scale (paper §5.1).
+
+        The ×4 models start from pretrained ×2 weights: the trunk (first block
+        and all 3×3 blocks) is copied, only the final 5×5 head is replaced.
+        """
+        other = SESR(
+            scale=new_scale,
+            f=self.f,
+            m=self.m,
+            expansion=self.expansion,
+            activation=self.activation,
+            input_residual=self.input_residual,
+            feature_residual=self.feature_residual,
+            short_residuals=self.short_residuals,
+            linear_blocks=self.linear_blocks,
+        )
+        own = self.state_dict()
+        trunk = {k: v for k, v in own.items() if not k.startswith("last.")}
+        other.load_state_dict(trunk, strict=False)
+        return other
+
+    def collapsed_num_parameters(self) -> int:
+        """Paper's parameter formula for the collapsed network:
+
+        ``P = 5·5·1·f + m·(3·3·f·f) + 5·5·f·SCALE²`` (biases excluded,
+        matching the convention of Tables 1–2).  The two-stage ×4 head
+        replaces the last term with ``5·5·f·4f + 5·5·f·4``.
+        """
+        f, m, s = self.f, self.m, self.scale
+        trunk = 25 * 1 * f + m * 9 * f * f
+        if self.two_stage_head:
+            return trunk + 25 * f * 4 * f + 25 * f * 4
+        return trunk + 25 * f * s * s
+
+    @classmethod
+    def from_name(cls, name: str, scale: int = 2, **kwargs) -> "SESR":
+        """Build a named configuration: ``M3``, ``M5``, ``M7``, ``M11``, ``XL``."""
+        key = name.upper().replace("SESR-", "")
+        if key not in SESR_CONFIGS:
+            raise KeyError(f"unknown SESR config {name!r}; know {list(SESR_CONFIGS)}")
+        f, m = SESR_CONFIGS[key]
+        return cls(scale=scale, f=f, m=m, **kwargs)
+
+
+class _PlainBlock(Module):
+    """Plain k×k convolution (+ optional true residual) for ablations."""
+
+    def __init__(
+        self, cin: int, cout: int, k: int, residual: bool, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(cin, cout, k, padding="same", rng=rng)
+        self.residual = residual
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv(x)
+        return out + x if self.residual else out
+
+
+class CollapsedSESR(Module):
+    """Inference-time SESR (Fig. 2(d)): m+2 narrow convs + two long residuals.
+
+    Built by collapsing a trained :class:`SESR` with Algorithms 1 and 2.  The
+    short residuals are folded *into the conv weights*; only the two long
+    residuals remain as explicit adds.
+    """
+
+    def __init__(self, trained: SESR) -> None:
+        super().__init__()
+        if not trained.linear_blocks:
+            raise ValueError("only linear-block SESR models can be collapsed")
+        self.scale = trained.scale
+        self.f = trained.f
+        self.m = trained.m
+        self.input_residual = trained.input_residual
+        self.feature_residual = trained.feature_residual
+        self.activation = trained.activation
+        self.two_stage_head = trained.two_stage_head
+
+        self.first = trained.first.to_conv2d()
+        self.act_first = _copy_act(trained.act_first)
+        self.convs: List[Conv2d] = []
+        self.acts: List[Module] = []
+        for i, (blk, act) in enumerate(zip(trained.blocks, trained.acts)):
+            conv = blk.to_conv2d()
+            setattr(self, f"conv{i}", conv)
+            a = _copy_act(act)
+            setattr(self, f"act{i}", a)
+            self.convs.append(conv)
+            self.acts.append(a)
+        self.last = trained.last.to_conv2d()
+        if self.two_stage_head:
+            self.act_last = _copy_act(trained.act_last)
+            self.last2 = trained.last2.to_conv2d()
+        self.eval()
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.act_first(self.first(x))
+        h = feat
+        for conv, act in zip(self.convs, self.acts):
+            h = act(conv(h))
+        if self.feature_residual:
+            h = h + feat
+        if self.two_stage_head:
+            out = depth_to_space(self.act_last(self.last(h)), 2)
+            return depth_to_space(self.last2(out), 2)
+        out = self.last(h)
+        if self.input_residual:
+            out = out + x
+        for r in _upsample_steps(self.scale):
+            out = depth_to_space(out, r)
+        return out
+
+    def collapsed_num_parameters(self) -> int:
+        """Conv weights only (paper convention)."""
+        f, m, s = self.f, self.m, self.scale
+        trunk = 25 * f + m * 9 * f * f
+        if self.two_stage_head:
+            return trunk + 25 * f * 4 * f + 25 * f * 4
+        return trunk + 25 * f * s * s
+
+
+def _copy_act(act: Module) -> Module:
+    """Deep-copy an activation module so the collapsed net is standalone."""
+    if isinstance(act, PReLU):
+        new = PReLU(act.alpha.size)
+        new.alpha.data[...] = act.alpha.data
+        return new
+    return ReLU()

@@ -1,0 +1,46 @@
+"""``repro.datasets`` — synthetic SISR corpus, bicubic degradation, pipeline."""
+
+from .color import luminance, rgb_to_ycbcr, ycbcr_to_rgb
+from .degradation import (
+    bicubic_downscale,
+    bicubic_resize,
+    bicubic_upscale,
+    crop_to_multiple,
+    cubic_kernel,
+)
+from .synthetic import (
+    PROFILES,
+    SUITE_SIZES,
+    ContentProfile,
+    SyntheticDataset,
+    benchmark_suites,
+    generate_image,
+)
+from .folder import ImageFolderDataset
+from .io import load_image, read_netpbm, save_image, write_netpbm
+from .pipeline import PatchSampler, from_batch, to_batch
+
+__all__ = [
+    "luminance",
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "bicubic_downscale",
+    "bicubic_resize",
+    "bicubic_upscale",
+    "crop_to_multiple",
+    "cubic_kernel",
+    "PROFILES",
+    "SUITE_SIZES",
+    "ContentProfile",
+    "SyntheticDataset",
+    "benchmark_suites",
+    "generate_image",
+    "ImageFolderDataset",
+    "load_image",
+    "read_netpbm",
+    "save_image",
+    "write_netpbm",
+    "PatchSampler",
+    "from_batch",
+    "to_batch",
+]

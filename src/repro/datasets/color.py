@@ -1,0 +1,45 @@
+"""Colour-space utilities (ITU-R BT.601, the SISR evaluation convention).
+
+The paper follows standard practice (footnote 1): RGB images are converted
+to YCbCr and only the Y (luma) channel is super-resolved and scored.
+Coefficients match the MATLAB ``rgb2ycbcr`` convention used across the SISR
+literature, normalised to inputs/outputs in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# BT.601 full-swing weights scaled to studio swing (16..235 for Y).
+_Y_COEFF = np.array([65.481, 128.553, 24.966], dtype=np.float64)
+_CB_COEFF = np.array([-37.797, -74.203, 112.0], dtype=np.float64)
+_CR_COEFF = np.array([112.0, -93.786, -18.214], dtype=np.float64)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert (H, W, 3) RGB in [0,1] to YCbCr in [0,1] (studio swing)."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB, got {rgb.shape}")
+    y = (rgb @ _Y_COEFF + 16.0) / 255.0
+    cb = (rgb @ _CB_COEFF + 128.0) / 255.0
+    cr = (rgb @ _CR_COEFF + 128.0) / 255.0
+    return np.stack([y, cb, cr], axis=2).astype(np.float32)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr` (clipped to [0,1])."""
+    ycbcr = np.asarray(ycbcr, dtype=np.float64) * 255.0
+    y = ycbcr[..., 0] - 16.0
+    cb = ycbcr[..., 1] - 128.0
+    cr = ycbcr[..., 2] - 128.0
+    r = 0.00456621 * y + 0.00625893 * cr
+    g = 0.00456621 * y - 0.00153632 * cb - 0.00318811 * cr
+    b = 0.00456621 * y + 0.00791071 * cb
+    rgb = np.stack([r, g, b], axis=2) * 255.0 / 255.0
+    return np.clip(rgb, 0.0, 1.0).astype(np.float32)
+
+
+def luminance(rgb: np.ndarray) -> np.ndarray:
+    """Extract the Y channel of an RGB image as (H, W) in [0,1]-ish range."""
+    return rgb_to_ycbcr(rgb)[..., 0]

@@ -1,0 +1,115 @@
+"""Bicubic resampling — the SISR degradation and upscaling baseline.
+
+Implements MATLAB-``imresize``-compatible bicubic interpolation (Keys kernel
+with a = −0.5, antialiasing when downscaling, symmetric boundary handling).
+This is the degradation model under which DIV2K/Set5/... low-resolution
+inputs are produced in the paper's evaluation, and also the "Bicubic" row of
+Tables 1–2.
+
+Everything is vectorized: per-axis contribution weights form a small dense
+matrix, and resizing is two matrix products.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def cubic_kernel(x: np.ndarray, a: float = -0.5) -> np.ndarray:
+    """Keys cubic convolution kernel (support [−2, 2])."""
+    x = np.abs(x)
+    x2, x3 = x * x, x * x * x
+    out = np.where(
+        x <= 1,
+        (a + 2) * x3 - (a + 3) * x2 + 1,
+        np.where(x < 2, a * x3 - 5 * a * x2 + 8 * a * x - 4 * a, 0.0),
+    )
+    return out
+
+
+def _axis_weights(
+    in_size: int, out_size: int, antialias: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Contribution weights and source indices for one axis.
+
+    Returns ``(weights, indices)`` of shape ``(out_size, taps)``; indices are
+    clipped symmetric-boundary source positions.
+    """
+    scale = out_size / in_size
+    if scale < 1 and antialias:
+        kernel_scale = scale
+        support = 2.0 / scale
+    else:
+        kernel_scale = 1.0
+        support = 2.0
+
+    # Output pixel centres mapped to input coordinates.
+    u = (np.arange(out_size) + 0.5) / scale - 0.5
+    left = np.floor(u - support).astype(int) + 1
+    taps = int(np.ceil(2 * support)) + 2
+    indices = left[:, None] + np.arange(taps)[None, :]
+    weights = cubic_kernel((u[:, None] - indices) * kernel_scale) * kernel_scale
+    # Normalise (kernel truncation near boundaries / non-integer scales).
+    weights /= weights.sum(axis=1, keepdims=True)
+
+    # Symmetric (reflect-including-edge) boundary indexing.
+    reflected = np.abs(indices)
+    reflected = np.where(
+        reflected >= in_size, 2 * in_size - 1 - reflected, reflected
+    )
+    reflected = np.clip(reflected, 0, in_size - 1)
+    return weights.astype(np.float64), reflected
+
+
+def _build_matrix(in_size: int, out_size: int, antialias: bool) -> np.ndarray:
+    """Dense (out_size, in_size) resampling matrix for one axis."""
+    weights, indices = _axis_weights(in_size, out_size, antialias)
+    mat = np.zeros((out_size, in_size), dtype=np.float64)
+    rows = np.repeat(np.arange(out_size), weights.shape[1])
+    np.add.at(mat, (rows, indices.ravel()), weights.ravel())
+    return mat
+
+
+def bicubic_resize(
+    img: np.ndarray, out_h: int, out_w: int, antialias: bool = True
+) -> np.ndarray:
+    """Resize (H, W) or (H, W, C) image to ``(out_h, out_w)``.
+
+    Antialiasing (kernel widening) is applied per axis only when that axis
+    shrinks, matching MATLAB ``imresize`` defaults.
+    """
+    img = np.asarray(img, dtype=np.float64)
+    squeeze = img.ndim == 2
+    if squeeze:
+        img = img[..., None]
+    h, w, c = img.shape
+    mh = _build_matrix(h, out_h, antialias)
+    mw = _build_matrix(w, out_w, antialias)
+    # (out_h, H) @ (H, W·C) -> (out_h, W, C); then along width.
+    out = np.tensordot(mh, img, axes=(1, 0))  # (out_h, W, C)
+    out = np.tensordot(mw, out, axes=(1, 1)).transpose(1, 0, 2)  # (out_h, out_w, C)
+    out = out.astype(np.float32)
+    return out[..., 0] if squeeze else out
+
+
+def bicubic_downscale(img: np.ndarray, scale: int) -> np.ndarray:
+    """Downscale by an integer factor (the LR degradation)."""
+    h, w = img.shape[:2]
+    if h % scale or w % scale:
+        raise ValueError(f"image {img.shape[:2]} not divisible by scale {scale}")
+    return bicubic_resize(img, h // scale, w // scale, antialias=True)
+
+
+def bicubic_upscale(img: np.ndarray, scale: int) -> np.ndarray:
+    """Upscale by an integer factor (the "Bicubic" baseline of Tables 1–2)."""
+    h, w = img.shape[:2]
+    return bicubic_resize(img, h * scale, w * scale, antialias=False)
+
+
+def crop_to_multiple(img: np.ndarray, multiple: int) -> np.ndarray:
+    """Crop trailing rows/cols so spatial dims divide ``multiple``."""
+    h, w = img.shape[:2]
+    return img[: h - h % multiple if h % multiple else h,
+               : w - w % multiple if w % multiple else w]

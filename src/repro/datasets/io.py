@@ -1,0 +1,102 @@
+"""Netpbm image I/O (PGM/PPM), dependency-free.
+
+The evaluation corpus is synthetic, but downstream users want to run the
+models on their own images without pulling in an imaging library.  Netpbm
+is the simplest widely-convertible format (``convert photo.png photo.ppm``
+or ``ffmpeg -i photo.png photo.ppm``); this module reads/writes both the
+binary (P5/P6) and ASCII (P2/P3) variants with 8- or 16-bit samples.
+
+Images are exchanged as float32 arrays in [0, 1]: ``(H, W)`` for
+greyscale, ``(H, W, 3)`` for colour.  Combine with
+:func:`repro.datasets.color.rgb_to_ycbcr` for the paper's Y-channel
+processing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+import numpy as np
+
+_MAGIC_TO_KIND = {
+    b"P2": ("pgm", False),
+    b"P5": ("pgm", True),
+    b"P3": ("ppm", False),
+    b"P6": ("ppm", True),
+}
+
+
+def _read_header(data: bytes) -> Tuple[bytes, int, int, int, int]:
+    """Parse magic, width, height, maxval; return them + header length."""
+    # Strip comments while tracking position: tokenize until 4 tokens seen.
+    tokens = []
+    pos = 0
+    while len(tokens) < 4:
+        match = re.compile(rb"\s*(#[^\n]*\n|\S+)").match(data, pos)
+        if match is None:
+            raise ValueError("truncated netpbm header")
+        pos = match.end()
+        tok = match.group(1)
+        if not tok.startswith(b"#"):
+            tokens.append(tok)
+    magic, width, height, maxval = tokens
+    if magic not in _MAGIC_TO_KIND:
+        raise ValueError(f"unsupported netpbm magic {magic!r}")
+    # Exactly one whitespace byte separates the header from binary data.
+    return magic, int(width), int(height), int(maxval), pos
+
+
+def read_netpbm(path: str) -> np.ndarray:
+    """Read a PGM/PPM file to float32 in [0, 1] ((H, W) or (H, W, 3))."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    magic, width, height, maxval, offset = _read_header(data)
+    kind, binary = _MAGIC_TO_KIND[magic]
+    channels = 3 if kind == "ppm" else 1
+    count = width * height * channels
+    if maxval <= 0 or maxval > 65535:
+        raise ValueError(f"invalid maxval {maxval}")
+
+    if binary:
+        dtype = np.dtype(">u2") if maxval > 255 else np.uint8
+        # Exactly one whitespace byte separates maxval from the payload.
+        raw = np.frombuffer(data, dtype=dtype, count=count, offset=offset + 1)
+    else:
+        values = data[offset:].split()
+        if len(values) < count:
+            raise ValueError("truncated netpbm pixel data")
+        raw = np.array(values[:count], dtype=np.float64)
+    img = raw.astype(np.float32).reshape(height, width, channels) / maxval
+    return img[..., 0] if channels == 1 else img
+
+
+def write_netpbm(path: str, img: np.ndarray, maxval: int = 255) -> None:
+    """Write float [0, 1] image as binary PGM (2-D) or PPM (3-D)."""
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim == 2:
+        magic, channels = b"P5", 1
+    elif img.ndim == 3 and img.shape[2] == 3:
+        magic, channels = b"P6", 3
+    else:
+        raise ValueError(f"expected (H, W) or (H, W, 3) image, got {img.shape}")
+    if not 1 <= maxval <= 65535:
+        raise ValueError(f"invalid maxval {maxval}")
+    h, w = img.shape[:2]
+    quantised = np.clip(np.round(img * maxval), 0, maxval)
+    dtype = np.dtype(">u2") if maxval > 255 else np.uint8
+    payload = quantised.astype(dtype).tobytes()
+    with open(path, "wb") as fh:
+        fh.write(magic + b"\n%d %d\n%d\n" % (w, h, maxval))
+        fh.write(payload)
+
+
+# Friendlier aliases.
+def load_image(path: str) -> np.ndarray:
+    """Alias of :func:`read_netpbm`."""
+    return read_netpbm(path)
+
+
+def save_image(path: str, img: np.ndarray, maxval: int = 255) -> None:
+    """Alias of :func:`write_netpbm`."""
+    write_netpbm(path, img, maxval)

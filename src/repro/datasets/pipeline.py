@@ -1,0 +1,115 @@
+"""Training-data pipeline: random paired LR/HR crops, batched (paper §5.1).
+
+The paper takes 64 random 64×64 crops per DIV2K image per epoch with batch
+size 32.  :class:`PatchSampler` reproduces that scheme at configurable
+scale-down (our synthetic images and crop sizes are smaller so CPU training
+stays tractable; the *protocol* is identical).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+
+class PatchSampler:
+    """Random paired-crop sampler over an (LR, HR) dataset.
+
+    Yields NHWC float32 batches ``(lr, hr)`` where ``lr`` has shape
+    ``(B, p, p, 1)`` and ``hr`` has shape ``(B, p·scale, p·scale, 1)``.
+
+    Parameters
+    ----------
+    dataset:
+        Any indexable of ``(lr, hr)`` pairs (e.g. :class:`SyntheticDataset`).
+    patch_size:
+        LR crop side ``p`` (the paper uses 64 on DIV2K).
+    crops_per_image:
+        Random crops drawn per image per epoch (paper: 64).
+    batch_size:
+        Patches per batch (paper: 32).
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        scale: int,
+        patch_size: int = 24,
+        crops_per_image: int = 8,
+        batch_size: int = 8,
+        seed: int = 0,
+        augment: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.scale = scale
+        self.patch_size = patch_size
+        self.crops_per_image = crops_per_image
+        self.batch_size = batch_size
+        self.augment = augment
+        self.rng = np.random.default_rng(seed)
+
+    def steps_per_epoch(self) -> int:
+        total = len(self.dataset) * self.crops_per_image
+        return max(total // self.batch_size, 1)
+
+    def _sample_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        idx = int(self.rng.integers(len(self.dataset)))
+        lr, hr = self.dataset[idx]
+        p, s = self.patch_size, self.scale
+        lh, lw = lr.shape[:2]
+        if lh < p or lw < p:
+            raise ValueError(
+                f"LR image {lr.shape[:2]} smaller than patch size {p}"
+            )
+        y = int(self.rng.integers(lh - p + 1))
+        x = int(self.rng.integers(lw - p + 1))
+        lr_crop = lr[y : y + p, x : x + p]
+        hr_crop = hr[y * s : (y + p) * s, x * s : (x + p) * s]
+        if self.augment:
+            lr_crop, hr_crop = self._dihedral(lr_crop, hr_crop)
+        return lr_crop, hr_crop
+
+    def _dihedral(
+        self, lr_crop: np.ndarray, hr_crop: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply one of the 8 flip/rotation symmetries to both crops.
+
+        Standard SISR augmentation: the degradation model is equivariant to
+        the dihedral group, so every transform yields a valid (LR, HR) pair.
+        """
+        k = int(self.rng.integers(4))
+        flip = bool(self.rng.integers(2))
+        lr_crop = np.rot90(lr_crop, k)
+        hr_crop = np.rot90(hr_crop, k)
+        if flip:
+            lr_crop = np.fliplr(lr_crop)
+            hr_crop = np.fliplr(hr_crop)
+        return np.ascontiguousarray(lr_crop), np.ascontiguousarray(hr_crop)
+
+    def batches(self, epochs: int = 1) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``steps_per_epoch × epochs`` random batches."""
+        for _ in range(epochs * self.steps_per_epoch()):
+            lrs, hrs = zip(*(self._sample_pair() for _ in range(self.batch_size)))
+            yield (
+                np.stack(lrs)[..., None].astype(np.float32),
+                np.stack(hrs)[..., None].astype(np.float32),
+            )
+
+
+def to_batch(img: np.ndarray) -> np.ndarray:
+    """Lift a single (H, W) Y image to a (1, H, W, 1) NHWC batch."""
+    img = np.asarray(img, dtype=np.float32)
+    if img.ndim != 2:
+        raise ValueError(f"expected (H, W) image, got {img.shape}")
+    return img[None, :, :, None]
+
+
+def from_batch(batch: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_batch` for single-image batches."""
+    batch = np.asarray(batch)
+    if batch.ndim != 4 or batch.shape[0] != 1 or batch.shape[3] != 1:
+        raise ValueError(f"expected (1, H, W, 1) batch, got {batch.shape}")
+    return batch[0, :, :, 0]

@@ -1,0 +1,302 @@
+"""Procedural synthetic image corpus — the offline stand-in for DIV2K et al.
+
+The paper trains on DIV2K and evaluates on Set5, Set14, BSD100, Urban100,
+Manga109 and the DIV2K validation split.  None of those are available in
+this offline environment, so this module synthesises Y-channel images whose
+*content statistics* mimic each benchmark's character:
+
+* ``div2k`` / ``bsd100`` — natural-image-like: smooth shaded backgrounds,
+  soft blobs, moderate texture, occasional geometry;
+* ``urban100``           — repetitive structure: gratings, grids, rectangles
+  (the hardest case for SISR, as in the real benchmark);
+* ``manga109``           — line art: flat regions, high-contrast strokes and
+  screen-tone patterns;
+* ``set5`` / ``set14``   — small mixed suites.
+
+Why this preserves the paper's claims: the quality *ordering* between models
+(SESR-M11 > SESR-M5 > FSRCNN > bicubic) is driven by model capacity and
+trainability on edge/texture reconstruction, which these images exercise.
+Absolute PSNR values differ from the natural-image benchmarks; EXPERIMENTS.md
+reports paper-vs-measured side by side.
+
+Every image is a deterministic function of ``(profile, seed, index, size)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+from zlib import crc32
+
+import numpy as np
+
+from .degradation import bicubic_downscale, bicubic_resize, crop_to_multiple
+
+
+# ---------------------------------------------------------------------- #
+# drawing primitives (all vectorized over the full pixel grid)
+# ---------------------------------------------------------------------- #
+def _grid(h: int, w: int) -> Tuple[np.ndarray, np.ndarray]:
+    ys, xs = np.mgrid[0:h, 0:w]
+    return ys.astype(np.float64), xs.astype(np.float64)
+
+
+def _smoothstep(sdf: np.ndarray, edge: float = 1.0) -> np.ndarray:
+    """Anti-aliased coverage from a signed distance field (inside < 0)."""
+    t = np.clip(0.5 - sdf / (2.0 * edge), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def smooth_background(h: int, w: int, rng: np.random.Generator) -> np.ndarray:
+    """Low-frequency shaded background: a few oriented cosine ramps."""
+    ys, xs = _grid(h, w)
+    img = np.full((h, w), rng.uniform(0.25, 0.75))
+    for _ in range(rng.integers(2, 5)):
+        theta = rng.uniform(0, np.pi)
+        freq = rng.uniform(0.5, 2.0) / max(h, w)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(0.05, 0.18)
+        img += amp * np.cos(
+            2 * np.pi * freq * (xs * np.cos(theta) + ys * np.sin(theta)) + phase
+        )
+    return img
+
+
+def add_blob(img: np.ndarray, rng: np.random.Generator) -> None:
+    """Soft Gaussian blob (shading / out-of-focus structure)."""
+    h, w = img.shape
+    ys, xs = _grid(h, w)
+    cy, cx = rng.uniform(0, h), rng.uniform(0, w)
+    sy, sx = rng.uniform(0.05, 0.3) * h, rng.uniform(0.05, 0.3) * w
+    amp = rng.uniform(-0.3, 0.3)
+    img += amp * np.exp(-(((ys - cy) / sy) ** 2 + ((xs - cx) / sx) ** 2))
+
+
+def add_ellipse(img: np.ndarray, rng: np.random.Generator) -> None:
+    """Anti-aliased filled ellipse with a random rotation and grey level."""
+    h, w = img.shape
+    ys, xs = _grid(h, w)
+    cy, cx = rng.uniform(0.1, 0.9) * h, rng.uniform(0.1, 0.9) * w
+    ry, rx = rng.uniform(0.04, 0.25) * h, rng.uniform(0.04, 0.25) * w
+    theta = rng.uniform(0, np.pi)
+    ct, st = np.cos(theta), np.sin(theta)
+    u = (xs - cx) * ct + (ys - cy) * st
+    v = -(xs - cx) * st + (ys - cy) * ct
+    sdf = (np.sqrt((u / rx) ** 2 + (v / ry) ** 2) - 1.0) * min(rx, ry)
+    alpha = _smoothstep(sdf)
+    value = rng.uniform(0.05, 0.95)
+    img *= 1.0 - alpha
+    img += alpha * value
+
+
+def add_rectangle(img: np.ndarray, rng: np.random.Generator) -> None:
+    """Anti-aliased rotated rectangle (building/window-like structure)."""
+    h, w = img.shape
+    ys, xs = _grid(h, w)
+    cy, cx = rng.uniform(0.1, 0.9) * h, rng.uniform(0.1, 0.9) * w
+    hh, hw = rng.uniform(0.05, 0.3) * h, rng.uniform(0.05, 0.3) * w
+    theta = rng.uniform(-0.3, 0.3)
+    ct, st = np.cos(theta), np.sin(theta)
+    u = (xs - cx) * ct + (ys - cy) * st
+    v = -(xs - cx) * st + (ys - cy) * ct
+    sdf = np.maximum(np.abs(u) - hw, np.abs(v) - hh)
+    alpha = _smoothstep(sdf)
+    value = rng.uniform(0.05, 0.95)
+    img *= 1.0 - alpha
+    img += alpha * value
+
+
+def add_stroke(img: np.ndarray, rng: np.random.Generator) -> None:
+    """High-contrast line segment (manga/line-art stroke)."""
+    h, w = img.shape
+    ys, xs = _grid(h, w)
+    p0 = np.array([rng.uniform(0, h), rng.uniform(0, w)])
+    angle = rng.uniform(0, 2 * np.pi)
+    length = rng.uniform(0.2, 0.9) * max(h, w)
+    p1 = p0 + length * np.array([np.sin(angle), np.cos(angle)])
+    d = p1 - p0
+    denom = float(d @ d) + 1e-12
+    t = np.clip(((ys - p0[0]) * d[0] + (xs - p0[1]) * d[1]) / denom, 0.0, 1.0)
+    dist = np.sqrt((ys - (p0[0] + t * d[0])) ** 2 + (xs - (p0[1] + t * d[1])) ** 2)
+    width = rng.uniform(0.8, 2.5)
+    alpha = _smoothstep(dist - width)
+    value = 0.0 if rng.random() < 0.8 else 1.0
+    img *= 1.0 - alpha
+    img += alpha * value
+
+
+def add_grating(img: np.ndarray, rng: np.random.Generator) -> None:
+    """Windowed sinusoidal grating (urban facades, screen tones)."""
+    h, w = img.shape
+    ys, xs = _grid(h, w)
+    theta = rng.uniform(0, np.pi)
+    period = rng.uniform(3.0, 12.0)
+    phase = rng.uniform(0, 2 * np.pi)
+    wave = 0.5 + 0.5 * np.sign(
+        np.cos(2 * np.pi / period * (xs * np.cos(theta) + ys * np.sin(theta)) + phase)
+    ) * rng.uniform(0.5, 1.0)
+    # Rectangular window where the grating applies.
+    cy, cx = rng.uniform(0.2, 0.8) * h, rng.uniform(0.2, 0.8) * w
+    hh, hw = rng.uniform(0.15, 0.45) * h, rng.uniform(0.15, 0.45) * w
+    sdf = np.maximum(np.abs(ys - cy) - hh, np.abs(xs - cx) - hw)
+    alpha = _smoothstep(sdf) * rng.uniform(0.5, 1.0)
+    img *= 1.0 - alpha
+    img += alpha * wave
+
+
+def add_texture(img: np.ndarray, rng: np.random.Generator, strength: float) -> None:
+    """Band-limited noise texture: small noise field upscaled bicubically."""
+    h, w = img.shape
+    base = rng.integers(6, 16)
+    noise = rng.standard_normal((max(h // base, 2), max(w // base, 2)))
+    field = bicubic_resize(noise, h, w, antialias=False)
+    img += strength * rng.uniform(0.3, 1.0) * field.astype(np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# content profiles
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ContentProfile:
+    """Mixture weights describing a benchmark's content statistics."""
+
+    name: str
+    n_shapes: Tuple[int, int]
+    n_blobs: Tuple[int, int]
+    n_strokes: Tuple[int, int]
+    n_gratings: Tuple[int, int]
+    texture: float
+    flat_background: bool = False
+
+
+# Densities are tuned so bicubic ×2 lands in a realistic PSNR range on
+# 96×96 crops (real benchmarks: ~27–34 dB) — edge-rich content is where
+# learned SR separates from bicubic, exactly as on the natural suites.
+PROFILES: Dict[str, ContentProfile] = {
+    "div2k": ContentProfile("div2k", (5, 10), (1, 4), (2, 5), (0, 2), 0.03),
+    "div2k-val": ContentProfile(
+        "div2k-val", (5, 10), (1, 4), (2, 5), (0, 2), 0.03
+    ),
+    "set5": ContentProfile("set5", (4, 8), (1, 3), (1, 4), (0, 1), 0.02),
+    "set14": ContentProfile("set14", (5, 10), (1, 3), (2, 5), (0, 2), 0.03),
+    "bsd100": ContentProfile("bsd100", (4, 8), (2, 5), (1, 4), (0, 1), 0.06),
+    "urban100": ContentProfile("urban100", (6, 12), (0, 2), (1, 3), (2, 5), 0.02),
+    "manga109": ContentProfile(
+        "manga109", (2, 6), (0, 1), (5, 12), (1, 3), 0.0, flat_background=True
+    ),
+}
+
+#: Benchmark suite sizes (image counts mirror the real suites, scaled down
+#: where the real suite is large — the full 100/109 images are available by
+#: passing ``n_images`` explicitly).
+SUITE_SIZES: Dict[str, int] = {
+    "set5": 5,
+    "set14": 14,
+    "bsd100": 12,
+    "urban100": 12,
+    "manga109": 12,
+    "div2k-val": 10,
+}
+
+
+def generate_image(
+    height: int, width: int, rng: np.random.Generator, profile: ContentProfile
+) -> np.ndarray:
+    """Render one synthetic Y-channel image in [0, 1]."""
+    if profile.flat_background:
+        img = np.full((height, width), rng.uniform(0.75, 0.95))
+    else:
+        img = smooth_background(height, width, rng)
+    for _ in range(rng.integers(*profile.n_blobs) if profile.n_blobs[1] else 0):
+        add_blob(img, rng)
+    for _ in range(rng.integers(*profile.n_shapes)):
+        (add_rectangle if rng.random() < 0.5 else add_ellipse)(img, rng)
+    for _ in range(rng.integers(*profile.n_gratings) if profile.n_gratings[1] else 0):
+        add_grating(img, rng)
+    for _ in range(rng.integers(*profile.n_strokes) if profile.n_strokes[1] else 0):
+        add_stroke(img, rng)
+    if profile.texture > 0:
+        add_texture(img, rng, profile.texture)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+class SyntheticDataset:
+    """A deterministic collection of (LR, HR) Y-channel image pairs.
+
+    Parameters
+    ----------
+    profile:
+        Key into :data:`PROFILES` (``"div2k"``, ``"urban100"``, ...).
+    n_images:
+        Number of images; defaults to the suite size for benchmark profiles.
+    size:
+        HR image size ``(H, W)``; cropped to a multiple of ``scale``.
+    scale:
+        Super-resolution factor the LR images are degraded for.
+    seed:
+        Base seed; image ``i`` uses an independent child generator.
+    """
+
+    def __init__(
+        self,
+        profile: str = "div2k",
+        n_images: Optional[int] = None,
+        size: Tuple[int, int] = (96, 96),
+        scale: int = 2,
+        seed: int = 2022,
+    ) -> None:
+        if profile not in PROFILES:
+            raise KeyError(f"unknown profile {profile!r}; know {sorted(PROFILES)}")
+        if n_images is None:
+            n_images = SUITE_SIZES.get(profile, 16)
+        self.profile = PROFILES[profile]
+        self.scale = scale
+        self.seed = seed
+        h = size[0] - size[0] % scale
+        w = size[1] - size[1] % scale
+        self.size = (h, w)
+        self.n_images = int(n_images)
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return self.n_images
+
+    def hr_image(self, index: int) -> np.ndarray:
+        """The HR ground-truth image ``index`` (H, W) in [0, 1]."""
+        return self[index][1]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(lr, hr)`` for image ``index`` (deterministic, cached)."""
+        if not 0 <= index < self.n_images:
+            raise IndexError(index)
+        if index not in self._cache:
+            # zlib.crc32 is stable across processes (str hash is salted).
+            profile_key = crc32(self.profile.name.encode()) & 0xFFFF
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, profile_key, index])
+            )
+            hr = generate_image(self.size[0], self.size[1], rng, self.profile)
+            hr = crop_to_multiple(hr, self.scale)
+            lr = bicubic_downscale(hr, self.scale)
+            self._cache[index] = (lr, hr)
+        return self._cache[index]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for i in range(self.n_images):
+            yield self[i]
+
+
+def benchmark_suites(
+    scale: int,
+    names: Sequence[str] = ("set5", "set14", "bsd100", "urban100", "manga109", "div2k-val"),
+    size: Tuple[int, int] = (96, 96),
+    seed: int = 2022,
+    n_images: Optional[int] = None,
+) -> Dict[str, SyntheticDataset]:
+    """Build the six evaluation suites of Tables 1–2 (synthetic analogues)."""
+    return {
+        name: SyntheticDataset(
+            profile=name, scale=scale, size=size, seed=seed, n_images=n_images
+        )
+        for name in names
+    }

@@ -1,0 +1,42 @@
+"""``repro.deploy`` — the deployment path: int8 quantization + tiled inference.
+
+These are the functional counterparts of the paper's hardware story: the
+NPU in §5.6 runs int8 (see :mod:`repro.hw`'s 1-byte activations) and
+processes frames in tiles; this package quantizes collapsed networks and
+executes exact tiled inference so both effects can be measured on images,
+not just in the performance model.
+"""
+
+from .quantize import (
+    ActivationObserver,
+    QuantParams,
+    QuantizedConv2d,
+    QuantizedSESR,
+    calibrate_activations,
+    calibrate_tensor,
+    calibrate_weight_per_channel,
+    quantize_sesr,
+)
+from .tiled import (
+    halo_overhead,
+    self_ensemble,
+    paper_tile_grid,
+    receptive_radius,
+    tiled_upscale,
+)
+
+__all__ = [
+    "ActivationObserver",
+    "QuantParams",
+    "QuantizedConv2d",
+    "QuantizedSESR",
+    "calibrate_activations",
+    "calibrate_tensor",
+    "calibrate_weight_per_channel",
+    "quantize_sesr",
+    "halo_overhead",
+    "self_ensemble",
+    "paper_tile_grid",
+    "receptive_radius",
+    "tiled_upscale",
+]

@@ -1,0 +1,304 @@
+"""Post-training int8 quantization of collapsed SESR networks.
+
+The paper's target hardware (Ethos-class mobile NPUs) executes int8
+convolutions — the performance model in :mod:`repro.hw` already assumes
+1-byte activations.  This module closes the loop on the *quality* side:
+it quantizes a collapsed network post-training (per-output-channel
+symmetric weights, per-tensor affine activations — the standard NPU
+recipe) and simulates quantized inference so the PSNR cost of int8
+deployment can be measured.
+
+Everything is "fake-quant" simulation: tensors are rounded to the integer
+grid and immediately dequantized, so the network runs in float while
+producing exactly the values an integer pipeline with float rescales
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.sesr import CollapsedSESR, _upsample_steps
+from ..nn import Conv2d, Module, PReLU, ReLU, Tensor, conv2d, depth_to_space, no_grad
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters ``q = clip(round(x/scale) + zp)``."""
+
+    scale: np.ndarray  # scalar or per-channel vector
+    zero_point: np.ndarray
+    bits: int = 8
+    symmetric: bool = False
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        q = np.round(x / self.scale) + self.zero_point
+        return np.clip(q, self.qmin, self.qmax)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return ((q - self.zero_point) * self.scale).astype(np.float32)
+
+    def fake_quant(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip through the integer grid."""
+        return self.dequantize(self.quantize(x))
+
+
+def calibrate_tensor(
+    x: np.ndarray, bits: int = 8, symmetric: bool = False
+) -> QuantParams:
+    """Min/max calibration of a single tensor (per-tensor granularity)."""
+    x = np.asarray(x, dtype=np.float64)
+    qmax = 2 ** (bits - 1) - 1
+    if symmetric:
+        bound = max(float(np.abs(x).max()), 1e-12)
+        scale = bound / qmax
+        zp = 0.0
+    else:
+        lo, hi = float(x.min()), float(x.max())
+        lo, hi = min(lo, 0.0), max(hi, 0.0)  # representable zero
+        span = max(hi - lo, 1e-12)
+        scale = span / (2**bits - 1)
+        zp = np.round(-(2 ** (bits - 1)) - lo / scale)
+    return QuantParams(
+        scale=np.float64(scale), zero_point=np.float64(zp),
+        bits=bits, symmetric=symmetric,
+    )
+
+
+def calibrate_weight_per_channel(w: np.ndarray, bits: int = 8) -> QuantParams:
+    """Symmetric per-output-channel weight calibration (HWIO weights)."""
+    bound = np.maximum(np.abs(w).max(axis=(0, 1, 2)), 1e-12)  # (C_out,)
+    qmax = 2 ** (bits - 1) - 1
+    return QuantParams(
+        scale=(bound / qmax).astype(np.float64),
+        zero_point=np.zeros_like(bound, dtype=np.float64),
+        bits=bits, symmetric=True,
+    )
+
+
+class ActivationObserver:
+    """Tracks the running range of a named activation during calibration.
+
+    ``percentile < 100`` clips the observed range to the central
+    percentile band per calibration batch — the standard PTQ remedy for
+    range-inflating outliers (a handful of extreme activations otherwise
+    waste most of the int8 grid).
+    """
+
+    def __init__(self, percentile: float = 100.0) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = percentile
+        self.lo = np.inf
+        self.hi = -np.inf
+
+    def update(self, x: np.ndarray) -> None:
+        if self.percentile >= 100.0:
+            lo, hi = float(x.min()), float(x.max())
+        else:
+            tail = 100.0 - self.percentile
+            lo = float(np.percentile(x, tail))
+            hi = float(np.percentile(x, self.percentile))
+        self.lo = min(self.lo, lo)
+        self.hi = max(self.hi, hi)
+
+    def params(self, bits: int = 8) -> QuantParams:
+        if not np.isfinite(self.lo):
+            raise RuntimeError("observer saw no data; run calibration first")
+        span_lo, span_hi = min(self.lo, 0.0), max(self.hi, 0.0)
+        span = max(span_hi - span_lo, 1e-12)
+        scale = span / (2**bits - 1)
+        zp = np.round(-(2 ** (bits - 1)) - span_lo / scale)
+        return QuantParams(
+            scale=np.float64(scale), zero_point=np.float64(zp), bits=bits
+        )
+
+
+class QuantizedConv2d(Module):
+    """Conv layer with fake-quantized weights and output activations."""
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        weight_params: QuantParams,
+        act_params: Optional[QuantParams],
+    ) -> None:
+        super().__init__()
+        self.kernel_size = conv.kernel_size
+        self.in_channels = conv.in_channels
+        self.out_channels = conv.out_channels
+        self.padding = conv.padding
+        self.weight_params = weight_params
+        self.act_params = act_params
+        self.weight_q = weight_params.quantize(conv.weight.data)  # int grid
+        # Bias stays higher precision (int32 accumulators on real NPUs).
+        self.bias = None if conv.bias is None else conv.bias.data.copy()
+
+    def forward(self, x: Tensor) -> Tensor:
+        w = Tensor(self.weight_params.dequantize(self.weight_q))
+        b = None if self.bias is None else Tensor(self.bias)
+        out = conv2d(x, w, b, padding=self.padding)
+        if self.act_params is not None:
+            out = Tensor(self.act_params.fake_quant(out.data))
+        return out
+
+    def weight_bytes(self) -> int:
+        return self.weight_q.size  # one byte per int8 weight
+
+
+class QuantizedSESR(Module):
+    """Int8-simulated collapsed SESR (weights + inter-layer activations)."""
+
+    def __init__(
+        self,
+        model: CollapsedSESR,
+        weight_bits: int = 8,
+        act_bits: int = 8,
+        observers: Optional[Dict[str, ActivationObserver]] = None,
+    ) -> None:
+        super().__init__()
+        self.scale = model.scale
+        self.input_residual = model.input_residual
+        self.feature_residual = model.feature_residual
+        self._float_model = model
+
+        def act_params(name: str) -> Optional[QuantParams]:
+            if observers is None:
+                return None
+            return observers[name].params(act_bits)
+
+        self.first = QuantizedConv2d(
+            model.first,
+            calibrate_weight_per_channel(model.first.weight.data, weight_bits),
+            act_params("first"),
+        )
+        self.act_first = _clone_act(model.act_first)
+        self.convs: List[QuantizedConv2d] = []
+        self.acts: List[Module] = []
+        for i, conv in enumerate(model.convs):
+            q = QuantizedConv2d(
+                conv,
+                calibrate_weight_per_channel(conv.weight.data, weight_bits),
+                act_params(f"conv{i}"),
+            )
+            a = _clone_act(model.acts[i])
+            setattr(self, f"conv{i}", q)
+            setattr(self, f"act{i}", a)
+            self.convs.append(q)
+            self.acts.append(a)
+        self.last = QuantizedConv2d(
+            model.last,
+            calibrate_weight_per_channel(model.last.weight.data, weight_bits),
+            act_params("last"),
+        )
+        self.eval()
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.act_first(self.first(x))
+        h = feat
+        for conv, act in zip(self.convs, self.acts):
+            h = act(conv(h))
+        if self.feature_residual:
+            h = h + feat
+        out = self.last(h)
+        if self.input_residual:
+            out = out + x
+        for r in _upsample_steps(self.scale):
+            out = depth_to_space(out, r)
+        return out
+
+    def weight_bytes(self) -> int:
+        """Int8 model size (weights only)."""
+        return sum(
+            q.weight_bytes() for q in [self.first, *self.convs, self.last]
+        )
+
+    def float_weight_bytes(self) -> int:
+        """Float32 model size of the same collapsed network."""
+        return 4 * sum(
+            c.weight.size
+            for c in [self._float_model.first, *self._float_model.convs,
+                      self._float_model.last]
+        )
+
+
+def _clone_act(act: Module) -> Module:
+    if isinstance(act, PReLU):
+        new = PReLU(act.alpha.size)
+        new.alpha.data[...] = act.alpha.data
+        return new
+    return ReLU()
+
+
+def calibrate_activations(
+    model: CollapsedSESR,
+    calib_images: Iterable[np.ndarray],
+    percentile: float = 100.0,
+) -> Dict[str, ActivationObserver]:
+    """Run calibration images and record per-layer activation ranges.
+
+    Replays the collapsed forward pass, observing every convolution output
+    (post-activation ranges are what the next layer consumes on an NPU).
+    """
+    observers: Dict[str, ActivationObserver] = {
+        "first": ActivationObserver(percentile)
+    }
+    for i in range(len(model.convs)):
+        observers[f"conv{i}"] = ActivationObserver(percentile)
+    observers["last"] = ActivationObserver(percentile)
+
+    with no_grad():
+        for img in calib_images:
+            x = Tensor(np.asarray(img, np.float32)[None, :, :, None])
+            feat = model.act_first(model.first(x))
+            observers["first"].update(feat.data)
+            h = feat
+            for i, (conv, act) in enumerate(zip(model.convs, model.acts)):
+                h = act(conv(h))
+                observers[f"conv{i}"].update(h.data)
+            if model.feature_residual:
+                h = h + feat
+            out = model.last(h)
+            if model.input_residual:
+                out = out + x
+            observers["last"].update(out.data)
+    return observers
+
+
+def quantize_sesr(
+    model: CollapsedSESR,
+    calib_images: Optional[Sequence[np.ndarray]] = None,
+    weight_bits: int = 8,
+    act_bits: int = 8,
+    percentile: float = 100.0,
+) -> QuantizedSESR:
+    """Post-training quantization entry point.
+
+    Parameters
+    ----------
+    model:
+        A collapsed SESR network (export of a trained :class:`SESR`).
+    calib_images:
+        Y-channel images used to calibrate activation ranges; when omitted,
+        only weights are quantized (activations stay float — useful for
+        isolating weight-quantization error).
+    percentile:
+        Activation-range clipping percentile (100 = pure min/max, the
+        default — these shallow nets have no range-inflating outliers;
+        lower values trim heavy tails when they exist).
+    """
+    observers = None
+    if calib_images is not None:
+        observers = calibrate_activations(model, calib_images, percentile)
+    return QuantizedSESR(model, weight_bits, act_bits, observers)

@@ -1,0 +1,47 @@
+"""``repro.hw`` — analytical mobile-NPU performance estimator (Table 3 substrate)."""
+
+from .spec import (
+    ETHOS_N78_4TOPS,
+    ETHOS_N78_FAMILY,
+    IDEAL_4TOPS,
+    NPUSpec,
+    scaled_variant,
+)
+from .graph import (
+    InferenceGraph,
+    fsrcnn_graph,
+    graph_from_specs,
+    sesr_hw_graph,
+    sesr_paper_graph,
+)
+from .estimator import LayerEstimate, PerfReport, estimate, theoretical_fps
+from .tiling import TiledReport, estimate_tiled
+from .calibrate import Anchor, anchor_rows, fit_spec, residuals
+from .report import bottleneck, compare_models, layer_breakdown, markdown_report
+
+__all__ = [
+    "ETHOS_N78_4TOPS",
+    "ETHOS_N78_FAMILY",
+    "scaled_variant",
+    "IDEAL_4TOPS",
+    "NPUSpec",
+    "InferenceGraph",
+    "fsrcnn_graph",
+    "graph_from_specs",
+    "sesr_hw_graph",
+    "sesr_paper_graph",
+    "LayerEstimate",
+    "PerfReport",
+    "estimate",
+    "theoretical_fps",
+    "TiledReport",
+    "estimate_tiled",
+    "Anchor",
+    "bottleneck",
+    "compare_models",
+    "layer_breakdown",
+    "markdown_report",
+    "anchor_rows",
+    "fit_spec",
+    "residuals",
+]

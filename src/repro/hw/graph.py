@@ -1,0 +1,77 @@
+"""Inference-graph IR for the NPU estimator.
+
+An :class:`InferenceGraph` binds a :class:`repro.metrics.LayerSpec` sequence
+(the same IR the MAC counter uses) to a concrete input resolution.  Builders
+are provided for the two networks Table 3 simulates — the hardware variants
+of SESR (ReLU, no input residual, §5.5) and FSRCNN (ReLU) — plus a generic
+constructor for any spec list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.complexity import (
+    LayerSpec,
+    count_macs,
+    fsrcnn_specs,
+    sesr_specs,
+)
+
+
+@dataclass(frozen=True)
+class InferenceGraph:
+    """A layer-spec sequence at a concrete input resolution."""
+
+    name: str
+    specs: Sequence[LayerSpec]
+    in_h: int
+    in_w: int
+
+    def total_macs(self) -> int:
+        return count_macs(self.specs, self.in_h, self.in_w)
+
+    def with_resolution(self, in_h: int, in_w: int) -> "InferenceGraph":
+        return InferenceGraph(self.name, self.specs, in_h, in_w)
+
+
+def sesr_hw_graph(
+    f: int,
+    m: int,
+    scale: int,
+    in_h: int,
+    in_w: int,
+    name: str = "",
+) -> InferenceGraph:
+    """SESR hardware variant (§5.5): ReLU, long input residual removed."""
+    specs = sesr_specs(
+        f, m, scale,
+        input_residual=False,
+        feature_residual=True,
+        activation="relu",
+    )
+    return InferenceGraph(name or f"SESR(f={f},m={m})x{scale}", specs, in_h, in_w)
+
+
+def sesr_paper_graph(
+    f: int, m: int, scale: int, in_h: int, in_w: int, name: str = ""
+) -> InferenceGraph:
+    """Full-quality SESR (PReLU + both long residuals)."""
+    specs = sesr_specs(f, m, scale)
+    return InferenceGraph(name or f"SESR(f={f},m={m})x{scale}", specs, in_h, in_w)
+
+
+def fsrcnn_graph(
+    scale: int, in_h: int, in_w: int, activation: str = "relu", name: str = ""
+) -> InferenceGraph:
+    """FSRCNN with the §5.6 ReLU substitution."""
+    specs = fsrcnn_specs(scale, activation=activation)
+    return InferenceGraph(name or f"FSRCNN x{scale}", specs, in_h, in_w)
+
+
+def graph_from_specs(
+    name: str, specs: Sequence[LayerSpec], in_h: int, in_w: int
+) -> InferenceGraph:
+    """Wrap an arbitrary spec list as an estimator-ready graph."""
+    return InferenceGraph(name, list(specs), in_h, in_w)

@@ -1,0 +1,99 @@
+"""Human-readable reports for NPU performance estimates.
+
+Turns :class:`~repro.hw.estimator.PerfReport` objects into the per-layer
+breakdown tables and model-comparison summaries that
+``examples/npu_deployment.py`` and the CLI print — kept in the library so
+downstream users get the same reporting for their own graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..utils import format_si, format_table
+from .estimator import PerfReport, estimate, theoretical_fps
+from .graph import InferenceGraph
+from .spec import IDEAL_4TOPS, NPUSpec
+from .tiling import estimate_tiled
+
+
+def layer_breakdown(report: PerfReport, skip_free: bool = True) -> str:
+    """Per-layer table: MACs, utilisation, compute/memory time, bound."""
+    rows: List[List[str]] = []
+    for layer in report.layers:
+        if skip_free and layer.time_sec == 0:
+            continue
+        rows.append([
+            layer.name,
+            layer.kind,
+            format_si(layer.macs),
+            f"{layer.utilization:.2f}",
+            f"{layer.compute_sec * 1e3:.2f}",
+            f"{layer.memory_sec * 1e3:.2f}",
+            layer.bound,
+        ])
+    title = (
+        f"{report.name}: {report.runtime_ms:.2f} ms total, "
+        f"{report.dram_mb:.1f} MB DRAM, {report.fps:.1f} FPS"
+    )
+    return format_table(
+        ["layer", "kind", "MACs", "util", "compute ms", "mem ms", "bound"],
+        rows,
+        title=title,
+    )
+
+
+def bottleneck(report: PerfReport) -> Tuple[str, float]:
+    """The layer consuming the largest share of runtime: (name, fraction)."""
+    if not report.layers or report.runtime_sec == 0:
+        raise ValueError("empty report")
+    worst = max(report.layers, key=lambda l: l.time_sec)
+    return worst.name, worst.time_sec / report.runtime_sec
+
+
+def compare_models(
+    graphs: Dict[str, InferenceGraph],
+    npu: NPUSpec,
+    tile: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Side-by-side summary table for several networks on one NPU."""
+    rows: List[List[str]] = []
+    for name, graph in graphs.items():
+        report = estimate(graph, npu)
+        row = [
+            name,
+            format_si(report.total_macs),
+            f"{report.dram_mb:.1f}MB",
+            f"{report.runtime_ms:.2f}ms",
+            f"{theoretical_fps(graph, IDEAL_4TOPS):.1f}",
+            f"{report.fps:.1f}",
+        ]
+        if tile is not None:
+            tiled = estimate_tiled(graph, npu, *tile)
+            row.append(f"{tiled.fps:.1f}")
+        rows.append(row)
+    headers = ["model", "MACs", "DRAM", "runtime", "FPS (ideal)", "FPS (model)"]
+    if tile is not None:
+        headers.append(f"FPS (tiled {tile[1]}x{tile[0]})")
+    return format_table(headers, rows, title=f"NPU: {npu.name}")
+
+
+def markdown_report(
+    graphs: Dict[str, InferenceGraph],
+    npu: NPUSpec,
+    include_layers: Iterable[str] = (),
+) -> str:
+    """A markdown document: comparison table + selected layer breakdowns."""
+    parts = [
+        f"# NPU performance report — {npu.name}",
+        "",
+        "```",
+        compare_models(graphs, npu),
+        "```",
+    ]
+    for name in include_layers:
+        if name not in graphs:
+            raise KeyError(f"unknown graph {name!r}")
+        parts += ["", f"## {name}", "", "```",
+                  layer_breakdown(estimate(graphs[name], npu)), "```"]
+    return "\n".join(parts) + "\n"

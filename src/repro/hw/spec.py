@@ -1,0 +1,106 @@
+"""Mobile-NPU hardware description (Arm Ethos-N78-class accelerator).
+
+The paper's Table 3 / Fig. 1(b) numbers come from Arm's proprietary
+Ethos-N78 performance estimator.  Our substitute is an analytical model of
+the same accelerator class, parameterised by:
+
+* ``peak_macs_per_sec`` — a 4-TOP/s NPU executes 2·10¹² MACs/s (1 MAC =
+  2 ops); this is the "theoretical best case" rate the paper's Fig. 1(b)
+  FPS numbers are computed from.
+* ``lane_channels`` — the MAC array processes channels in groups of 16;
+  layers whose input/output channel counts are not multiples of 16 waste
+  lanes (this is why FSRCNN's 1-channel deconv head is so slow on the NPU).
+* ``dram_bandwidth``, ``sram_bytes`` — the memory system: feature maps
+  larger than SRAM spill to DRAM, and every spilled transfer competes for
+  bandwidth.
+* ``compression_ratio`` — Ethos-N78 applies lossless activation compression
+  to DRAM traffic; the effective ratio is a calibrated constant.
+
+The three free parameters (bandwidth, SRAM, compression) are calibrated once
+against the five published Table 3 anchor rows — see
+:mod:`repro.hw.calibrate`; compute-side constants are architectural facts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NPUSpec:
+    """Parameters of the analytical NPU performance model."""
+
+    name: str = "ethos-n78-4tops"
+    #: MAC throughput at 100% utilisation (4 TOP/s => 2e12 MAC/s).
+    peak_macs_per_sec: float = 2.0e12
+    #: channel granularity of the MAC array (lanes).
+    lane_channels: int = 16
+    #: effective DRAM bandwidth available to the NPU, bytes/second.
+    dram_bandwidth: float = 8.0e9
+    #: on-chip SRAM usable for feature-map residency, bytes.
+    sram_bytes: float = 1.0e6
+    #: bytes per activation element (int8 inference).
+    act_bytes: float = 1.0
+    #: bytes per weight element (int8 inference).
+    weight_bytes: float = 1.0
+    #: lossless activation-compression factor applied to DRAM traffic.
+    compression_ratio: float = 1.0
+    #: fixed per-layer scheduling overhead, seconds.
+    layer_overhead_sec: float = 0.0
+
+    def lane_utilization(self, channels: int) -> float:
+        """Fraction of MAC lanes doing useful work for ``channels``."""
+        if channels <= 0:
+            return 1.0
+        lanes = self.lane_channels
+        return channels / (math.ceil(channels / lanes) * lanes)
+
+    def with_(self, **kwargs) -> "NPUSpec":
+        """Functional update (used by the calibration fit)."""
+        return replace(self, **kwargs)
+
+
+#: Theoretical-peak spec used for Fig. 1(b)'s "best case" FPS numbers.
+IDEAL_4TOPS = NPUSpec(
+    name="ideal-4tops",
+    dram_bandwidth=float("inf"),
+    sram_bytes=float("inf"),
+    lane_channels=1,
+)
+
+#: Calibrated Ethos-N78-class spec (fit against the Table 3 anchors by
+#: ``repro.hw.calibrate.fit_spec``; see EXPERIMENTS.md for residuals).
+ETHOS_N78_4TOPS = NPUSpec(
+    name="ethos-n78-4tops-calibrated",
+    peak_macs_per_sec=2.0e12,
+    lane_channels=16,
+    dram_bandwidth=10.54e9,
+    sram_bytes=1.00e6,
+    compression_ratio=0.446,
+)
+
+
+def scaled_variant(tops: float, base: NPUSpec = ETHOS_N78_4TOPS) -> NPUSpec:
+    """An Ethos-N78-family configuration scaled from the calibrated 4-TOP/s
+    point.
+
+    The N78 ships from 1 to 10 TOP/s; compute and SRAM scale with the MAC
+    array while the DRAM interface is shared system bandwidth (held fixed).
+    Useful for what-if studies ("would SESR-XL hit 30 FPS on the 8-TOP/s
+    part?") — see ``examples/npu_deployment.py``.
+    """
+    if tops <= 0:
+        raise ValueError("tops must be positive")
+    factor = tops / (2.0 * base.peak_macs_per_sec / 1e12)
+    return base.with_(
+        name=f"ethos-n78-{tops:g}tops-scaled",
+        peak_macs_per_sec=base.peak_macs_per_sec * factor,
+        sram_bytes=base.sram_bytes * factor,
+    )
+
+
+#: The Ethos-N78 product line, scaled from the calibrated 4-TOP/s point.
+ETHOS_N78_FAMILY = {
+    tops: scaled_variant(tops) for tops in (1.0, 2.0, 4.0, 8.0, 10.0)
+}

@@ -1,0 +1,65 @@
+"""Tiled-inference performance model (paper §5.6, "up to 8× better runtime").
+
+SISR feature maps at 1080p are tens of megabytes, so DRAM traffic dominates.
+The paper's optimisation splits the input into tiles (400×300 in Table 3)
+small enough that intermediate maps stay in SRAM, then multiplies one tile's
+cost by the tile count ``(1920/400)·(1080/300) = 17.28``.  We reproduce that
+accounting, including the paper's explicit caveats: fractional tile counts
+and an optional halo (boundary) overhead factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .estimator import PerfReport, estimate
+from .graph import InferenceGraph
+from .spec import NPUSpec
+
+
+@dataclass(frozen=True)
+class TiledReport:
+    """Cost of covering a full frame with repeated tile inference."""
+
+    tile: PerfReport
+    n_tiles: float
+    halo_factor: float
+
+    @property
+    def total_runtime_sec(self) -> float:
+        return self.tile.runtime_sec * self.n_tiles * self.halo_factor
+
+    @property
+    def total_runtime_ms(self) -> float:
+        return self.total_runtime_sec * 1e3
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.total_runtime_sec
+
+    @property
+    def total_dram_mb(self) -> float:
+        return self.tile.dram_mb * self.n_tiles
+
+
+def estimate_tiled(
+    graph: InferenceGraph,
+    npu: NPUSpec,
+    tile_h: int,
+    tile_w: int,
+    halo_factor: float = 1.0,
+) -> TiledReport:
+    """Estimate full-frame cost via ``tile_h × tile_w`` tiles.
+
+    ``halo_factor`` ≥ 1 models the boundary overlap needed for functional
+    correctness at tile edges (the paper's numbers ignore it, i.e. 1.0).
+    """
+    if tile_h > graph.in_h or tile_w > graph.in_w:
+        raise ValueError(
+            f"tile {(tile_h, tile_w)} larger than frame {(graph.in_h, graph.in_w)}"
+        )
+    tile_graph = graph.with_resolution(tile_h, tile_w)
+    tile_report = estimate(tile_graph, npu)
+    # Fractional tile count, exactly as the paper computes 17.28.
+    n_tiles = (graph.in_h / tile_h) * (graph.in_w / tile_w)
+    return TiledReport(tile=tile_report, n_tiles=n_tiles, halo_factor=halo_factor)

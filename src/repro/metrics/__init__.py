@@ -1,0 +1,45 @@
+"""``repro.metrics`` — image quality and model complexity accounting."""
+
+from .edges import edge_psnr, gms, gradient_magnitude
+from .psnr import psnr, shave
+from .ssim import gaussian_window, ssim
+from .stats import (
+    Summary,
+    paired_bootstrap,
+    paired_difference,
+    per_image_scores,
+    summarize,
+)
+from .complexity import (
+    LayerSpec,
+    count_macs,
+    count_params,
+    fsrcnn_specs,
+    macs_to_720p,
+    sesr_specs,
+    specs_from_module,
+    vdsr_specs,
+)
+
+__all__ = [
+    "edge_psnr",
+    "gms",
+    "gradient_magnitude",
+    "psnr",
+    "shave",
+    "gaussian_window",
+    "ssim",
+    "Summary",
+    "paired_bootstrap",
+    "paired_difference",
+    "per_image_scores",
+    "summarize",
+    "LayerSpec",
+    "count_macs",
+    "count_params",
+    "fsrcnn_specs",
+    "macs_to_720p",
+    "sesr_specs",
+    "specs_from_module",
+    "vdsr_specs",
+]

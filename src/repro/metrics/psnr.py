@@ -1,0 +1,49 @@
+"""Peak signal-to-noise ratio on the Y channel (the paper's quality metric).
+
+Standard SISR evaluation protocol: compare Y channels in [0, 1], shave a
+``scale``-pixel border (boundary pixels are ill-defined for all methods),
+and report ``10·log10(1 / MSE)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def shave(img: np.ndarray, border: int) -> np.ndarray:
+    """Remove ``border`` pixels from each spatial edge of (H, W[, C])."""
+    if border <= 0:
+        return img
+    if img.shape[0] <= 2 * border or img.shape[1] <= 2 * border:
+        raise ValueError(
+            f"image {img.shape[:2]} too small to shave border {border}"
+        )
+    return img[border:-border, border:-border]
+
+
+def psnr(
+    pred: np.ndarray,
+    target: np.ndarray,
+    border: int = 0,
+    data_range: float = 1.0,
+) -> float:
+    """PSNR in dB between two images of identical shape.
+
+    Parameters
+    ----------
+    pred, target:
+        Arrays in ``[0, data_range]``; any shape, compared elementwise after
+        border shaving (first two axes are treated as spatial).
+    border:
+        Pixels to shave from each edge; SISR convention is ``border=scale``.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    pred, target = shave(pred, border), shave(target, border)
+    pred = np.clip(pred, 0.0, data_range)
+    mse = float(np.mean((pred - target) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(data_range**2 / mse)

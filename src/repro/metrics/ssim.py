@@ -1,0 +1,72 @@
+"""Structural similarity (SSIM), Wang et al. 2004 — the paper's second metric.
+
+Standard single-scale SSIM with an 11×11 Gaussian window (σ = 1.5) and the
+canonical stabilisers ``C1 = (0.01·L)²``, ``C2 = (0.03·L)²``.  Implemented
+with separable correlation in pure NumPy (valid-mode windows, so no border
+effects leak into the score).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .psnr import shave
+
+
+def gaussian_window(size: int = 11, sigma: float = 1.5) -> np.ndarray:
+    """Normalised 1-D Gaussian window."""
+    half = (size - 1) / 2.0
+    coords = np.arange(size) - half
+    g = np.exp(-(coords**2) / (2.0 * sigma**2))
+    return g / g.sum()
+
+
+def _filter2_valid(img: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """Separable 2-D correlation with ``window`` along both axes, valid mode."""
+    k = window.size
+    # Along axis 0.
+    h, w = img.shape
+    out = np.zeros((h - k + 1, w), dtype=np.float64)
+    for i, coeff in enumerate(window):
+        out += coeff * img[i : i + h - k + 1, :]
+    # Along axis 1.
+    out2 = np.zeros((h - k + 1, w - k + 1), dtype=np.float64)
+    for j, coeff in enumerate(window):
+        out2 += coeff * out[:, j : j + w - k + 1]
+    return out2
+
+
+def ssim(
+    pred: np.ndarray,
+    target: np.ndarray,
+    border: int = 0,
+    data_range: float = 1.0,
+    window_size: int = 11,
+    sigma: float = 1.5,
+) -> float:
+    """Mean SSIM over a single-channel image pair in ``[0, data_range]``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.ndim == 3 and pred.shape[2] == 1:
+        pred, target = pred[..., 0], target[..., 0]
+    if pred.ndim != 2:
+        raise ValueError("ssim expects single-channel (H, W) images")
+    pred, target = shave(pred, border), shave(target, border)
+    pred = np.clip(pred, 0.0, data_range)
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    win = gaussian_window(window_size, sigma)
+
+    mu_x = _filter2_valid(pred, win)
+    mu_y = _filter2_valid(target, win)
+    mu_xx, mu_yy, mu_xy = mu_x * mu_x, mu_y * mu_y, mu_x * mu_y
+    sigma_x = _filter2_valid(pred * pred, win) - mu_xx
+    sigma_y = _filter2_valid(target * target, win) - mu_yy
+    sigma_xy = _filter2_valid(pred * target, win) - mu_xy
+
+    numerator = (2 * mu_xy + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_xx + mu_yy + c1) * (sigma_x + sigma_y + c2)
+    return float(np.mean(numerator / denominator))

@@ -1,0 +1,92 @@
+"""Statistics over per-image quality scores.
+
+The paper notes that 0.1–0.2 dB gaps between tiny models are significant
+because the run-to-run standard deviation is ~0.02 dB (§5.5).  These
+helpers put error bars and paired tests behind that kind of statement:
+
+* :func:`summarize` — mean / std / 95% CI of a score list;
+* :func:`paired_bootstrap` — probability that model A beats model B on the
+  *same* images (paired, so image difficulty cancels out);
+* :func:`paired_difference` — mean per-image gap with a CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± spread of a metric over a suite."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n})"
+
+
+def summarize(scores: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Mean, standard deviation, and normal-approximation CI."""
+    arr = np.asarray(scores, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no scores to summarize")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2))
+    half = z * std / np.sqrt(arr.size)
+    return Summary(mean=mean, std=std, ci_low=mean - half,
+                   ci_high=mean + half, n=int(arr.size))
+
+
+def paired_bootstrap(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """P(mean(A) > mean(B)) under paired bootstrap resampling of images."""
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired scores must be same-length and non-empty")
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, diff.size, size=(n_resamples, diff.size))
+    means = diff[idx].mean(axis=1)
+    return float(np.mean(means > 0))
+
+
+def paired_difference(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    confidence: float = 0.95,
+) -> Summary:
+    """Summary of per-image differences A − B (positive = A better)."""
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired scores must be same-length")
+    return summarize(a - b, confidence=confidence)
+
+
+def per_image_scores(model, dataset, metric: str = "psnr") -> np.ndarray:
+    """Per-image PSNR (or SSIM) of a model over an (LR, HR) dataset."""
+    from .psnr import psnr as psnr_fn
+    from .ssim import ssim as ssim_fn
+    from ..train.trainer import predict_image
+
+    fn = psnr_fn if metric == "psnr" else ssim_fn
+    border = getattr(dataset, "scale", 0)
+    return np.array([
+        fn(predict_image(model, lr), hr, border=border)
+        for lr, hr in dataset
+    ])

@@ -1,0 +1,42 @@
+"""``repro.nas`` — hardware-aware DNAS over SESR backbones (§3.4, Fig. 9)."""
+
+from .space import (
+    END_KERNEL_CHOICES,
+    KERNEL_CHOICES,
+    SKIP,
+    Genotype,
+    NasSESR,
+    is_residual_capable,
+    sesr_m_genotype,
+)
+from .supernet import MixedBlock, SESRSupernet
+from .dnas import (
+    DNASConfig,
+    SearchResult,
+    expected_latency,
+    genotype_latency_ms,
+    latency_table,
+    op_latency_ms,
+    realize,
+    search,
+)
+
+__all__ = [
+    "END_KERNEL_CHOICES",
+    "KERNEL_CHOICES",
+    "SKIP",
+    "Genotype",
+    "NasSESR",
+    "is_residual_capable",
+    "sesr_m_genotype",
+    "MixedBlock",
+    "SESRSupernet",
+    "DNASConfig",
+    "SearchResult",
+    "expected_latency",
+    "genotype_latency_ms",
+    "latency_table",
+    "op_latency_ms",
+    "realize",
+    "search",
+]

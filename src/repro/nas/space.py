@@ -1,0 +1,176 @@
+"""NAS search space over SESR backbones (paper §3.4, Fig. 9).
+
+The paper's DNAS chooses, per collapsible linear block, the kernel height
+and width — including *even-sized* (2×2) and *asymmetric* (2×1, 3×2, 2×3)
+kernels — plus whether to keep the block at all (layer-count search via a
+parallel skip branch), under a latency constraint from the NPU model.
+
+A :class:`Genotype` is a concrete architecture drawn from the space; it can
+be turned into layer specs (for latency estimation) or into a trainable
+:class:`NasSESR` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.linear_block import CollapsibleLinearBlock
+from ..metrics.complexity import LayerSpec
+from ..nn import Module, PReLU, ReLU, Tensor, depth_to_space
+
+Kernel = Tuple[int, int]
+
+#: kernel menu from the paper's NAS experiments (Fig. 9(b)).
+KERNEL_CHOICES: Tuple[Kernel, ...] = ((3, 3), (2, 2), (2, 1), (1, 2), (2, 3), (3, 2))
+#: sentinel for "skip this block" (layer-count search).
+SKIP = None
+#: kernel menu for the first/last blocks (Fig. 9(b) shrinks them to 3×3).
+END_KERNEL_CHOICES: Tuple[Kernel, ...] = ((5, 5), (3, 3))
+
+
+def is_residual_capable(kernel: Optional[Kernel]) -> bool:
+    """Collapsible identity residuals need odd×odd kernels (Algorithm 2)."""
+    return kernel is not None and kernel[0] % 2 == 1 and kernel[1] % 2 == 1
+
+
+@dataclass(frozen=True)
+class Genotype:
+    """A concrete SESR-backbone architecture."""
+
+    scale: int
+    f: int
+    first_kernel: Kernel
+    block_kernels: Tuple[Optional[Kernel], ...]
+    last_kernel: Kernel
+
+    @property
+    def active_blocks(self) -> List[Kernel]:
+        return [k for k in self.block_kernels if k is not SKIP]
+
+    def describe(self) -> str:
+        blocks = ", ".join(
+            "skip" if k is SKIP else f"{k[0]}x{k[1]}" for k in self.block_kernels
+        )
+        return (
+            f"first={self.first_kernel[0]}x{self.first_kernel[1]} | "
+            f"[{blocks}] | last={self.last_kernel[0]}x{self.last_kernel[1]}"
+        )
+
+    def specs(self) -> List[LayerSpec]:
+        """Inference-time layer specs (collapsed network) for this genotype."""
+        f, s2 = self.f, self.scale * self.scale
+        specs = [
+            LayerSpec("conv", self.first_kernel, 1, f, 1.0, "first"),
+            LayerSpec("act", (1, 1), f, f, 1.0, "act_first"),
+        ]
+        for i, k in enumerate(self.block_kernels):
+            if k is SKIP:
+                continue
+            specs.append(LayerSpec("conv", k, f, f, 1.0, f"block{i}"))
+            specs.append(LayerSpec("act", (1, 1), f, f, 1.0, f"act{i}"))
+        specs.append(LayerSpec("add", (1, 1), f, f, 1.0, "long_blue_residual"))
+        specs.append(LayerSpec("conv", self.last_kernel, f, s2, 1.0, "last"))
+        res, ch = 1.0, s2
+        for step in range(self.scale // 2):
+            res *= 2.0
+            ch //= 4
+            specs.append(
+                LayerSpec("depth_to_space", (1, 1), ch * 4, ch, res, f"d2s_{step}")
+            )
+        return specs
+
+    def num_parameters(self) -> int:
+        return sum(s.weight_params() for s in self.specs())
+
+
+def sesr_m_genotype(m: int, f: int = 16, scale: int = 2) -> Genotype:
+    """The manually-designed SESR-Mm baseline expressed as a genotype."""
+    return Genotype(
+        scale=scale,
+        f=f,
+        first_kernel=(5, 5),
+        block_kernels=tuple([(3, 3)] * m),
+        last_kernel=(5, 5),
+    )
+
+
+class NasSESR(Module):
+    """Trainable SESR backbone realising a :class:`Genotype`.
+
+    Blocks with odd×odd kernels keep the collapsible short residual; blocks
+    with even/asymmetric kernels (where Algorithm 2 cannot fold an identity)
+    are plain linear blocks, exactly as in the paper's NAS-guided networks.
+    """
+
+    def __init__(
+        self,
+        genotype: Genotype,
+        expansion: int = 64,
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.genotype = genotype
+        self.scale = genotype.scale
+        f = genotype.f
+
+        def act(c: int) -> Module:
+            return PReLU(c) if activation == "prelu" else ReLU()
+
+        self.first = CollapsibleLinearBlock(
+            1, f, genotype.first_kernel, expansion=expansion, rng=rng
+        )
+        self.act_first = act(f)
+        self.blocks: List[Module] = []
+        self.acts: List[Module] = []
+        for i, k in enumerate(genotype.active_blocks):
+            blk = CollapsibleLinearBlock(
+                f, f, k, expansion=expansion,
+                residual=is_residual_capable(k), rng=rng,
+            )
+            a = act(f)
+            setattr(self, f"block{i}", blk)
+            setattr(self, f"act{i}", a)
+            self.blocks.append(blk)
+            self.acts.append(a)
+        s2 = genotype.scale**2
+        self.last = CollapsibleLinearBlock(
+            f, s2, genotype.last_kernel, expansion=expansion, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.act_first(self.first(x))
+        h = feat
+        for blk, a in zip(self.blocks, self.acts):
+            h = a(blk(h))
+        h = h + feat
+        out = self.last(h)
+        for _ in range(self.scale // 2):
+            out = depth_to_space(out, 2)
+        return out
+
+    def collapse(self):
+        """Export the searched network with every linear block collapsed.
+
+        Returns a :class:`repro.core.blocks.CollapsedVGGNet` — the same
+        inference container the manual SESR variants collapse into, so
+        searched architectures deploy through the identical path
+        (quantization, tiling, NPU estimation).
+        """
+        from ..core.blocks import CollapsedVGGNet
+        from ..core.sesr import _copy_act
+
+        return CollapsedVGGNet(
+            first=self.first.to_conv2d(),
+            act_first=_copy_act(self.act_first),
+            convs=[b.to_conv2d() for b in self.blocks],
+            acts=[_copy_act(a) for a in self.acts],
+            last=self.last.to_conv2d(),
+            scale=self.scale,
+            input_residual=False,
+            feature_residual=True,
+        )

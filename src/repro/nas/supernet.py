@@ -1,0 +1,164 @@
+"""Differentiable supernet over the SESR backbone (paper §3.4).
+
+Every searchable slot holds one candidate op per choice and mixes their
+outputs with Gumbel-softmax weights over learnable architecture logits.
+Deriving an architecture takes the per-slot argmax.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.linear_block import CollapsibleLinearBlock
+from ..nn import Identity, Module, Parameter, ReLU, Tensor, depth_to_space, softmax
+from .space import (
+    END_KERNEL_CHOICES,
+    KERNEL_CHOICES,
+    SKIP,
+    Genotype,
+    Kernel,
+    is_residual_capable,
+)
+
+
+class MixedBlock(Module):
+    """One searchable slot: candidate linear blocks mixed by Gumbel-softmax.
+
+    ``choices`` may include :data:`SKIP`, realised as an identity branch —
+    the paper's mechanism for searching the number of layers.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        choices: Sequence[Optional[Kernel]],
+        expansion: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if any(c is SKIP for c in choices) and in_channels != out_channels:
+            raise ValueError("skip choice requires matching channel counts")
+        self.choices = tuple(choices)
+        self.ops: List[Module] = []
+        for i, choice in enumerate(self.choices):
+            if choice is SKIP:
+                op: Module = Identity()
+            else:
+                op = CollapsibleLinearBlock(
+                    in_channels,
+                    out_channels,
+                    choice,
+                    expansion=expansion,
+                    residual=is_residual_capable(choice)
+                    and in_channels == out_channels,
+                    rng=rng,
+                )
+            setattr(self, f"op{i}", op)
+            self.ops.append(op)
+        self.alpha = Parameter(np.zeros(len(self.choices), dtype=np.float32))
+
+    def gate_weights(
+        self, temperature: float, gumbel: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Differentiable (soft) op weights at the given temperature."""
+        logits = self.alpha
+        if gumbel is not None:
+            logits = logits + Tensor(gumbel.astype(np.float32))
+        return softmax(logits * (1.0 / temperature), axis=0)
+
+    def forward(
+        self,
+        x: Tensor,
+        temperature: float = 1.0,
+        gumbel: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        weights = self.gate_weights(temperature, gumbel)
+        out = None
+        for i, op in enumerate(self.ops):
+            term = op(x) * weights[i]
+            out = term if out is None else out + term
+        return out
+
+    def best_choice(self) -> Optional[Kernel]:
+        return self.choices[int(np.argmax(self.alpha.data))]
+
+    def choice_probs(self) -> np.ndarray:
+        a = self.alpha.data - self.alpha.data.max()
+        e = np.exp(a)
+        return e / e.sum()
+
+
+class SESRSupernet(Module):
+    """The searchable SESR backbone: end blocks pick 5×5/3×3, trunk slots
+    pick among even/asymmetric/3×3 kernels or skip."""
+
+    def __init__(
+        self,
+        scale: int = 2,
+        f: int = 16,
+        slots: int = 5,
+        expansion: int = 32,
+        trunk_choices: Sequence[Optional[Kernel]] = KERNEL_CHOICES + (SKIP,),
+        end_choices: Sequence[Kernel] = END_KERNEL_CHOICES,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.f = f
+        self.first = MixedBlock(1, f, tuple(end_choices), expansion, rng)
+        self.act_first = ReLU()
+        self.slots: List[MixedBlock] = []
+        for i in range(slots):
+            slot = MixedBlock(f, f, tuple(trunk_choices), expansion, rng)
+            setattr(self, f"slot{i}", slot)
+            self.slots.append(slot)
+        self.last = MixedBlock(f, scale * scale, tuple(end_choices), expansion, rng)
+
+    def mixed_blocks(self) -> List[MixedBlock]:
+        return [self.first, *self.slots, self.last]
+
+    def arch_parameters(self) -> List[Parameter]:
+        return [b.alpha for b in self.mixed_blocks()]
+
+    def weight_parameters(self) -> List[Parameter]:
+        arch_ids = {id(a) for a in self.arch_parameters()}
+        return [p for p in self.parameters() if id(p) not in arch_ids]
+
+    def forward(
+        self,
+        x: Tensor,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tensor:
+        def gum(n: int) -> Optional[np.ndarray]:
+            if rng is None:
+                return None
+            u = rng.uniform(1e-6, 1.0 - 1e-6, size=n)
+            return -np.log(-np.log(u))
+
+        feat = self.act_first(
+            self.first(x, temperature, gum(len(self.first.choices)))
+        )
+        h = feat
+        for slot in self.slots:
+            h = ReLU()(slot(h, temperature, gum(len(slot.choices))))
+        h = h + feat
+        out = self.last(h, temperature, gum(len(self.last.choices)))
+        for _ in range(self.scale // 2):
+            out = depth_to_space(out, 2)
+        return out
+
+    def genotype(self) -> Genotype:
+        """Per-slot argmax architecture."""
+        return Genotype(
+            scale=self.scale,
+            f=self.f,
+            first_kernel=self.first.best_choice(),
+            block_kernels=tuple(s.best_choice() for s in self.slots),
+            last_kernel=self.last.best_choice(),
+        )

@@ -1,0 +1,105 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The SESR paper's reference implementation is TensorFlow; this package is the
+substitute substrate (see DESIGN.md §2): reverse-mode autograd, NHWC/HWIO
+convolutions, PReLU, depth-to-space, ADAM, and ℓ₁ training — everything the
+paper's training and collapse machinery needs, with no external framework.
+"""
+
+from .tensor import Tensor, as_tensor, concatenate, no_grad, stack, where
+from .modules import Module, Parameter, Sequential
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    ConvTranspose2d,
+    DepthToSpace,
+    Identity,
+    PReLU,
+    ReLU,
+    SpaceToDepth,
+)
+from .ops import (
+    batch_norm,
+    compose_bias_1x1,
+    compose_conv_1x1,
+    conv2d,
+    conv2d_transpose,
+    conv2d_transpose_reference,
+    depth_to_space,
+    dilate,
+    prelu,
+    relu,
+    resolve_padding,
+    sigmoid,
+    softmax,
+    space_to_depth,
+)
+from .optim import SGD, Adam, Optimizer
+from .losses import LOSSES, charbonnier_loss, l1_loss, l2_loss, mse_loss
+from .schedulers import (
+    SCHEDULERS,
+    ConstantLR,
+    CosineDecay,
+    LRScheduler,
+    StepDecay,
+    WarmupCosine,
+)
+from .serialization import load_state, save_state
+from . import init
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "no_grad",
+    "stack",
+    "where",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "ConvTranspose2d",
+    "DepthToSpace",
+    "Identity",
+    "PReLU",
+    "ReLU",
+    "SpaceToDepth",
+    "batch_norm",
+    "compose_bias_1x1",
+    "compose_conv_1x1",
+    "conv2d",
+    "conv2d_transpose",
+    "conv2d_transpose_reference",
+    "depth_to_space",
+    "dilate",
+    "prelu",
+    "relu",
+    "resolve_padding",
+    "sigmoid",
+    "softmax",
+    "space_to_depth",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "LOSSES",
+    "charbonnier_loss",
+    "l1_loss",
+    "l2_loss",
+    "mse_loss",
+    "SCHEDULERS",
+    "ConstantLR",
+    "CosineDecay",
+    "LRScheduler",
+    "StepDecay",
+    "WarmupCosine",
+    "load_state",
+    "save_state",
+    "init",
+]

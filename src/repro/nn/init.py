@@ -1,0 +1,63 @@
+"""Weight initializers.
+
+All initializers take an explicit ``rng`` so every experiment in the
+benchmark harness is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense or HWIO conv weight shapes."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        kh, kw, cin, cout = shape
+        rf = kh * kw
+        return cin * rf, cout * rf
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — TensorFlow's default, used by reference SESR."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He normal, suited to ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def identity_conv(k: int, channels: int) -> np.ndarray:
+    """HWIO weight implementing the identity map (paper Algorithm 2).
+
+    A residual connection equals a ``k×k`` convolution whose weight has a
+    single 1 at the spatial centre on each diagonal channel pair:
+    ``W[idx, idx, i, i] = 1`` with ``idx = (k - 1) // 2``.
+    """
+    if k % 2 == 0:
+        raise ValueError("identity kernels require odd kernel size")
+    w = np.zeros((k, k, channels, channels), dtype=np.float32)
+    idx = (k - 1) // 2
+    for i in range(channels):
+        w[idx, idx, i, i] = 1.0
+    return w
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+}

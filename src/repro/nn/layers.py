@@ -1,0 +1,249 @@
+"""Standard layers used by SESR, its baselines, and the NAS supernet."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from . import init as init_mod
+from .modules import Module, Parameter
+from .ops import (
+    Padding,
+    conv2d,
+    conv2d_transpose,
+    depth_to_space,
+    prelu,
+    relu,
+    space_to_depth,
+)
+from .tensor import Tensor
+
+
+def _as_pair(k: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    return (k, k) if isinstance(k, int) else (int(k[0]), int(k[1]))
+
+
+class Conv2d(Module):
+    """2-D convolution, NHWC activations, HWIO weight.
+
+    ``kernel_size`` may be a pair to support the even-sized / asymmetric
+    kernels explored by the paper's NAS section (e.g. ``(2, 2)``, ``(3, 2)``).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: int = 1,
+        padding: Padding = "same",
+        bias: bool = True,
+        groups: int = 1,
+        initializer: str = "glorot_uniform",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        kh, kw = _as_pair(kernel_size)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}, {out_channels}) not divisible by "
+                f"groups={groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fn = init_mod.INITIALIZERS[initializer]
+        self.weight = Parameter(
+            fn((kh, kw, in_channels // groups, out_channels), rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding, groups=self.groups)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"groups={self.groups})"
+        )
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution with output = stride · input (TF SAME geometry).
+
+    Used by the FSRCNN baseline's 9×9 deconvolution upsampling head.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: int = 2,
+        bias: bool = True,
+        initializer: str = "glorot_uniform",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        kh, kw = _as_pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        fn = init_mod.INITIALIZERS[initializer]
+        self.weight = Parameter(fn((kh, kw, in_channels, out_channels), rng))
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d_transpose(x, self.weight, self.bias, stride=self.stride)
+
+
+class ReLU(Module):
+    """Stateless rectifier."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NHWC activations (per-channel affine).
+
+    The SESR blocks themselves are BN-free (BN between the linear convs
+    would break collapsibility), but RepVGG — one of the paper's §5.4
+    comparisons — places BN on every branch; this layer plus
+    :func:`repro.core.collapse.fold_batchnorm` reproduces that faithfully.
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32))
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(channels, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = x.mean(axis=(0, 1, 2))
+            centred = x - mu.reshape(1, 1, 1, self.channels)
+            var = (centred * centred).mean(axis=(0, 1, 2))
+            inv = (var.reshape(1, 1, 1, self.channels) + self.eps) ** -0.5
+            out = centred * inv * self.gamma + self.beta
+            # Update running statistics outside the graph.
+            m = self.momentum
+            self.running_mean *= 1 - m
+            self.running_mean += m * mu.data
+            self.running_var *= 1 - m
+            self.running_var += m * var.data
+            return out
+        from .ops import batch_norm
+
+        return batch_norm(
+            x, self.gamma, self.beta, self.running_mean, self.running_var,
+            self.eps,
+        )
+
+
+class PReLU(Module):
+    """Parametric ReLU with one learnable slope per channel (init 0.25)."""
+
+    def __init__(self, channels: int, init: float = 0.25) -> None:
+        super().__init__()
+        self.alpha = Parameter(np.full(channels, init, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return prelu(x, self.alpha)
+
+
+class Identity(Module):
+    """No-op layer (placeholder in ablations and NAS skip branches)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x·W + b`` on ``(..., in_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        initializer: str = "glorot_uniform",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        fn = init_mod.INITIALIZERS[initializer]
+        self.weight = Parameter(fn((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        return out if self.bias is None else out + self.bias
+
+
+class Flatten(Module):
+    """Collapse all but the leading (batch) axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode).
+
+    Not used by SESR itself — the paper's nets are fully convolutional
+    without regularisation — but part of a complete training substrate.
+    The mask stream is seeded for reproducibility.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+class DepthToSpace(Module):
+    """Pixel-shuffle upsampling layer (paper's depth-to-space op)."""
+
+    def __init__(self, block: int) -> None:
+        super().__init__()
+        self.block = block
+
+    def forward(self, x: Tensor) -> Tensor:
+        return depth_to_space(x, self.block)
+
+
+class SpaceToDepth(Module):
+    """Inverse pixel-shuffle."""
+
+    def __init__(self, block: int) -> None:
+        super().__init__()
+        self.block = block
+
+    def forward(self, x: Tensor) -> Tensor:
+        return space_to_depth(x, self.block)

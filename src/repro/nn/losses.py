@@ -1,0 +1,41 @@
+"""Training losses.
+
+The paper trains all networks with mean absolute error (ℓ₁) between the
+generated and high-resolution images (§5.1); ℓ₂ and Charbonnier are kept
+for ablations and the theory module's regression experiments.
+"""
+
+from __future__ import annotations
+
+from .tensor import Tensor, as_tensor
+
+
+def l1_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error — the paper's training loss."""
+    return (as_tensor(pred) - as_tensor(target)).abs().mean()
+
+
+def l2_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Half mean squared error (matches Eq. 1 of the paper's theory section)."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean() * 0.5
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Plain mean squared error."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def charbonnier_loss(pred: Tensor, target: Tensor, eps: float = 1e-3) -> Tensor:
+    """Charbonnier (smooth ℓ₁) loss, common in SISR (e.g. LapSRN)."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return ((diff * diff + eps * eps) ** 0.5).mean()
+
+
+LOSSES = {
+    "l1": l1_loss,
+    "l2": l2_loss,
+    "mse": mse_loss,
+    "charbonnier": charbonnier_loss,
+}

@@ -1,0 +1,179 @@
+"""Module system: parameter containers with nested registration.
+
+A tiny analogue of ``torch.nn.Module`` / ``tf.Module``: subclasses assign
+:class:`Parameter` and :class:`Module` instances as attributes and get
+recursive parameter iteration, state-dict (de)serialization, and train/eval
+mode switching for free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a trainable leaf (``requires_grad=True``)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def register_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register non-trainable persistent state (e.g. BN running stats).
+
+        Buffers travel with :meth:`state_dict` but receive no gradients.
+        The array is also set as a plain attribute for direct access.
+        """
+        arr = np.asarray(array)
+        self._buffers[name] = arr
+        object.__setattr__(self, name, arr)
+        return arr
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the module tree."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, m in self._modules.items():
+            yield from m.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` over the module tree."""
+        for name in self._buffers:
+            # Read through the attribute so in-place replacement works.
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, m in self._modules.items():
+            yield from m.named_buffers(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters in the module tree."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including self (empty name)."""
+        yield (prefix.rstrip("."), self)
+        for name, m in self._modules.items():
+            yield from m.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # modes
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. BatchNorm)."""
+        self.training = mode
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (``train(False)``)."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # state dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of dotted parameter/buffer names to arrays (copies)."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update(
+            {name: b.copy() for name, b in self.named_buffers()}
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays produced by :meth:`state_dict` in place."""
+        own = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = (set(own) | set(own_buffers)) - set(state)
+        unexpected = set(state) - set(own) - set(own_buffers)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if name in state:
+                arr = np.asarray(state[name], dtype=p.data.dtype)
+                if arr.shape != p.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: {arr.shape} vs {p.shape}"
+                    )
+                p.data[...] = arr
+        for name, buf in own_buffers.items():
+            if name in state:
+                arr = np.asarray(state[name], dtype=buf.dtype)
+                if arr.shape != buf.shape:
+                    raise ValueError(
+                        f"shape mismatch for buffer {name!r}: "
+                        f"{arr.shape} vs {buf.shape}"
+                    )
+                buf[...] = arr
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)

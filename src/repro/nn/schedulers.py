@@ -1,0 +1,103 @@
+"""Learning-rate schedules.
+
+The paper trains with a *constant* 5e-4 (§5.1); schedules are provided for
+the scaled-down regimes this repo runs in (short schedules benefit from
+decay) and for ablation studies.  All schedules are pure functions of the
+step index so training runs stay exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base: computes the lr for a step and applies it to an optimizer."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = float(base_lr)
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for 0-indexed ``step``."""
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """The paper's schedule: a constant learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(LRScheduler):
+    """Multiply lr by ``gamma`` at each milestone step."""
+
+    def __init__(self, base_lr: float, milestones: Sequence[int],
+                 gamma: float = 0.5) -> None:
+        super().__init__(base_lr)
+        if sorted(milestones) != list(milestones):
+            raise ValueError("milestones must be sorted ascending")
+        self.milestones: List[int] = list(milestones)
+        self.gamma = float(gamma)
+
+    def lr_at(self, step: int) -> float:
+        passed = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class CosineDecay(LRScheduler):
+    """Cosine anneal from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, base_lr: float, total_steps: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+class WarmupCosine(LRScheduler):
+    """Linear warmup for ``warmup_steps`` then cosine decay to ``min_lr``."""
+
+    def __init__(self, base_lr: float, total_steps: int, warmup_steps: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if not 0 <= warmup_steps < total_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.total_steps = int(total_steps)
+        self.warmup_steps = int(warmup_steps)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        span = self.total_steps - self.warmup_steps
+        t = min(step - self.warmup_steps, span) / span
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+SCHEDULERS = {
+    "constant": ConstantLR,
+    "step": StepDecay,
+    "cosine": CosineDecay,
+    "warmup_cosine": WarmupCosine,
+}

@@ -1,0 +1,26 @@
+"""Checkpoint (de)serialization for module state dicts (.npz files)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write a module's state dict to ``path`` as a compressed ``.npz``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # np.savez keys cannot contain "/" reliably across versions; dots are fine.
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str, strict: bool = True) -> None:
+    """Load a ``.npz`` checkpoint written by :func:`save_state` in place."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state, strict=strict)

@@ -1,0 +1,49 @@
+"""``repro.theory`` — §4 gradient-update analysis of overparameterization."""
+
+from .updates import (
+    adaptive_coefficients,
+    chain_gradient_magnitude,
+    grad_beta,
+    grad_w2_scalar,
+    loss,
+    predicted_update_expandnet,
+    predicted_update_repvgg,
+    predicted_update_sesr,
+    predicted_update_vgg,
+)
+from .linreg import (
+    SCHEMES,
+    ExpandNetLinear,
+    LinearModel,
+    RepVGGLinear,
+    SESRLinear,
+    Trajectory,
+    VGGLinear,
+    build,
+    compare_schemes,
+    make_regression,
+    train,
+)
+
+__all__ = [
+    "adaptive_coefficients",
+    "chain_gradient_magnitude",
+    "grad_beta",
+    "grad_w2_scalar",
+    "loss",
+    "predicted_update_expandnet",
+    "predicted_update_repvgg",
+    "predicted_update_sesr",
+    "predicted_update_vgg",
+    "SCHEMES",
+    "ExpandNetLinear",
+    "LinearModel",
+    "RepVGGLinear",
+    "SESRLinear",
+    "Trajectory",
+    "VGGLinear",
+    "build",
+    "compare_schemes",
+    "make_regression",
+    "train",
+]

@@ -1,0 +1,109 @@
+"""Closed-form gradient-update rules of §4 (Eqs. 2–5).
+
+The paper analyses linear overparameterization on the ℓ₂ regression problem
+
+    L(β) = E[ ½‖xᵀβ − y‖² ],      ∇β = E[(xᵀβ − y)xᵀ]            (Eqs. 1–2)
+
+for four parameterizations of the same collapsed weight β (Fig. 4):
+
+=============  =======================  ==========================================
+scheme         collapsed weight         one-step update for β (lr η)
+=============  =======================  ==========================================
+VGG            β = w₁                   β ← β − η∇β
+ExpandNet      β = w₁·w₂                β ← β − ρ∇β − γβ               (Eq. 3)
+SESR           β = w₁·w₂ + I            β ← β − ρ∇β − γβ + γ           (Eq. 4)
+RepVGG         β = w₁ + w₂ + I          β ← β − 2η∇β                   (Eq. 5)
+=============  =======================  ==========================================
+
+with ρ(t) = η·w₂², γ(t) = η·∇w₂·w₂⁻¹.  The punchline the tests verify:
+**RepVGG's update contains no adaptive term at all** — it is exactly a VGG
+update with doubled learning rate — while SESR adds an extra ``+γ·I`` pull
+on top of ExpandNet's time-varying momentum/learning rate.
+
+Everything here is exact NumPy linear algebra (no autograd) so the property
+tests can compare the *actual* factored-parameter gradient descent in
+:mod:`repro.theory.linreg` against these predictions to O(η²).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def loss(beta: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+    """Empirical ℓ₂ regression loss (Eq. 1) for β of shape (d, k)."""
+    resid = x @ beta - y
+    return float(0.5 * np.mean(np.sum(resid**2, axis=1)))
+
+
+def grad_beta(beta: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Gradient of Eq. 1 w.r.t. the collapsed weight (Eq. 2)."""
+    n = x.shape[0]
+    return x.T @ (x @ beta - y) / n
+
+
+def predicted_update_vgg(
+    beta: np.ndarray, g: np.ndarray, lr: float
+) -> np.ndarray:
+    """Plain gradient descent on β."""
+    return beta - lr * g
+
+
+def predicted_update_repvgg(
+    beta: np.ndarray, g: np.ndarray, lr: float
+) -> np.ndarray:
+    """Eq. 5: ``β − 2η∇β`` — identical to VGG with λ = 2η, no adaptivity."""
+    return beta - 2.0 * lr * g
+
+
+def predicted_update_expandnet(
+    beta: np.ndarray, g: np.ndarray, w2: float, grad_w2: float, lr: float
+) -> np.ndarray:
+    """Eq. 3: ``β − ρ∇β − γβ`` with ρ = ηw₂², γ = η∇w₂/w₂."""
+    rho = lr * w2 * w2
+    gamma = lr * grad_w2 / w2
+    return beta - rho * g - gamma * beta
+
+
+def predicted_update_sesr(
+    beta: np.ndarray, g: np.ndarray, w2: float, grad_w2: float, lr: float
+) -> np.ndarray:
+    """Eq. 4: ``β − ρ∇β − γβ + γI`` — ExpandNet's update plus the extra
+    identity-directed term contributed by the collapsible short residual."""
+    rho = lr * w2 * w2
+    gamma = lr * grad_w2 / w2
+    eye = np.eye(*beta.shape, dtype=beta.dtype)
+    return beta - rho * g - gamma * beta + gamma * eye
+
+
+def grad_w2_scalar(g: np.ndarray, w1: np.ndarray) -> float:
+    """∇w₂ for a scalar w₂ with β = w₁·w₂ (+I): ⟨∇β, w₁⟩ by the chain rule."""
+    return float(np.sum(g * w1))
+
+
+def adaptive_coefficients(
+    w2: float, grad_w2: float, lr: float
+) -> Tuple[float, float]:
+    """(ρ, γ): the time-varying learning rate and momentum-like coefficient."""
+    return lr * w2 * w2, lr * grad_w2 / w2
+
+
+def chain_gradient_magnitude(
+    depth: int,
+    residual: bool,
+    rng: np.random.Generator,
+    init_scale: float = 0.7,
+) -> float:
+    """|∂out/∂w₁| through a depth-``depth`` linear chain (vanishing-gradient demo).
+
+    Without residuals the first factor's gradient is ``∏_{i>1} w_i`` which
+    decays exponentially for |w| < 1 — the paper's explanation of why
+    ExpandNet-style doubling of depth (13 → 26 layers) hurts trainability.
+    With residuals each factor is ``(w_i + 1)`` and the product stays Θ(1).
+    """
+    weights = rng.uniform(-init_scale, init_scale, size=depth)
+    factors = weights + 1.0 if residual else weights
+    # d(out)/d(w_1) = prod of the other factors.
+    return float(np.abs(np.prod(factors[1:])))

@@ -1,0 +1,33 @@
+"""``repro.train`` — training loop and experiment harness."""
+
+from .trainer import (
+    TrainResult,
+    Trainer,
+    evaluate_fn,
+    evaluate_model,
+    predict_image,
+)
+from .checkpoint import load_checkpoint, load_extra, save_checkpoint
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    bicubic_baseline,
+    make_train_sampler,
+    run_experiment,
+)
+
+__all__ = [
+    "TrainResult",
+    "Trainer",
+    "evaluate_fn",
+    "evaluate_model",
+    "predict_image",
+    "load_checkpoint",
+    "load_extra",
+    "save_checkpoint",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "bicubic_baseline",
+    "make_train_sampler",
+    "run_experiment",
+]

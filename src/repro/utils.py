@@ -1,0 +1,47 @@
+"""Shared utilities: formatting, timing, deterministic seeding."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+
+def format_si(value: Optional[float], unit: str = "", digits: int = 2) -> str:
+    """Human-readable engineering notation: 6.3e9 -> '6.30G'."""
+    if value is None:
+        return "-"
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}f}{suffix}{unit}"
+    return f"{value:.{digits}f}{unit}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table (benches print these)."""
+    str_rows = [[("-" if c is None else str(c)) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@contextmanager
+def timed(label: str = "") -> Iterator[dict]:
+    """Context manager measuring wall-clock seconds into ``result['seconds']``."""
+    result = {"label": label, "seconds": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``x`` in place."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, arrays, atol: float = 1e-5) -> None:
+    """Verify autograd gradients of ``build_loss`` against finite differences.
+
+    ``build_loss`` receives float64 Tensors (one per array in ``arrays``) and
+    returns a scalar Tensor.
+    """
+    tensors = [Tensor(a, requires_grad=True, dtype=np.float64) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+
+    for arr, tensor in zip(arrays, tensors):
+        def f(arr=arr):
+            consts = [Tensor(a, dtype=np.float64) for a in arrays]
+            return float(build_loss(*consts).data)
+
+        num = numerical_gradient(f, arr)
+        assert tensor.grad is not None, "missing gradient"
+        np.testing.assert_allclose(tensor.grad, num, atol=atol, rtol=1e-4)

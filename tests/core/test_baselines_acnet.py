@@ -1,0 +1,180 @@
+"""Tests for the classic baselines (SRCNN/ESPCN/VDSR), ACBlock, BN folding,
+and the BN-equipped RepVGG block."""
+
+import numpy as np
+import pytest
+
+from repro.core import ACBlock, ESPCN, RepVGGBlock, SRCNN, VDSR, fold_batchnorm
+from repro.metrics import count_macs, count_params
+from repro.nn import Adam, BatchNorm2d, Tensor, conv2d, no_grad
+from repro.nn.losses import l1_loss
+
+
+class TestSRCNN:
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_output_shape(self, rng, scale):
+        net = SRCNN(scale=scale, f1=8, f2=4, seed=1)
+        x = Tensor(rng.random((1, 6, 7, 1)).astype(np.float32))
+        assert net(x).shape == (1, 6 * scale, 7 * scale, 1)
+
+    def test_specs_match_module(self):
+        net = SRCNN(scale=2, f1=64, f2=32)
+        specs = net.specs()
+        # 9·64 + 25·64·32 + 25·32 conv weights.
+        assert count_params(specs) == 81 * 64 + 25 * 64 * 32 + 25 * 32
+        # All compute at HR resolution.
+        assert all(s.res_scale == 2.0 for s in specs if s.kind == "conv")
+
+    def test_trains(self, rng):
+        net = SRCNN(scale=2, f1=8, f2=4, seed=0)
+        opt = Adam(net.parameters(), lr=1e-3)
+        x = Tensor(rng.random((2, 6, 6, 1)).astype(np.float32))
+        y = Tensor(rng.random((2, 12, 12, 1)).astype(np.float32))
+        losses = []
+        for _ in range(6):
+            opt.zero_grad()
+            loss = l1_loss(net(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestESPCN:
+    def test_output_shape_and_d2s(self, rng):
+        net = ESPCN(scale=2, f1=8, f2=4, seed=1)
+        x = Tensor(rng.random((1, 5, 5, 1)).astype(np.float32))
+        assert net(x).shape == (1, 10, 10, 1)
+
+    def test_lr_space_compute(self):
+        specs = ESPCN(scale=2).specs()
+        assert all(s.res_scale == 1.0 for s in specs if s.kind == "conv")
+
+    def test_cheaper_than_srcnn(self):
+        """The post-upsampling design point: ESPCN ≪ SRCNN in MACs."""
+        espcn = count_macs(ESPCN(scale=2).specs(), 360, 640)
+        srcnn = count_macs(SRCNN(scale=2).specs(), 360, 640)
+        assert espcn < srcnn / 3
+
+
+class TestVDSR:
+    def test_full_config_matches_paper(self):
+        net = VDSR(scale=2)
+        assert net.conv_num_parameters() == 664704  # the 665K of Table 1
+        assert count_params(net.specs()) == 664704
+
+    def test_small_config_runs_and_trains(self, rng):
+        net = VDSR(scale=2, depth=4, width=8, seed=0)
+        x = Tensor(rng.random((1, 5, 5, 1)).astype(np.float32))
+        with no_grad():
+            assert net(x).shape == (1, 10, 10, 1)
+        opt = Adam(net.parameters(), lr=1e-3)
+        y = Tensor(rng.random((1, 10, 10, 1)).astype(np.float32))
+        first = None
+        for _ in range(6):
+            opt.zero_grad()
+            loss = l1_loss(net(x), y)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            VDSR(depth=2)
+
+
+class TestACBlock:
+    def test_collapse_equivalence(self, rng):
+        blk = ACBlock(3, 5, 3, rng=rng)
+        blk.bias.data[:] = rng.standard_normal(5) * 0.1
+        x = rng.standard_normal((2, 6, 7, 3)).astype(np.float32)
+        with no_grad():
+            a = blk(Tensor(x)).data
+            b = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=2e-5)
+
+    def test_collapsed_weight_structure(self, rng):
+        blk = ACBlock(2, 2, 3, rng=rng)
+        w, _ = blk.collapse()
+        # Corner taps contain only the square kernel.
+        np.testing.assert_allclose(w[0, 0], blk.w_square.data[0, 0])
+        # Centre tap sums all three branches.
+        expected = (blk.w_square.data[1, 1] + blk.w_hor.data[0, 1]
+                    + blk.w_ver.data[1, 0])
+        np.testing.assert_allclose(w[1, 1], expected, atol=1e-6)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            ACBlock(2, 2, 4)
+
+    def test_trains(self, rng):
+        blk = ACBlock(2, 2, 3, rng=rng)
+        opt = Adam(blk.parameters(), lr=1e-2)
+        x = Tensor(rng.standard_normal((2, 5, 5, 2)).astype(np.float32))
+        losses = []
+        for _ in range(6):
+            opt.zero_grad()
+            loss = (blk(x) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestBNFolding:
+    def test_fold_matches_bn_conv(self, rng):
+        w = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        gamma = rng.uniform(0.5, 1.5, 4).astype(np.float32)
+        beta = rng.standard_normal(4).astype(np.float32)
+        mean = rng.standard_normal(4).astype(np.float32)
+        var = rng.uniform(0.5, 2.0, 4).astype(np.float32)
+
+        x = rng.standard_normal((1, 6, 6, 2)).astype(np.float32)
+        with no_grad():
+            raw = conv2d(Tensor(x), Tensor(w), Tensor(b)).data
+        manual = (raw - mean) / np.sqrt(var + 1e-5) * gamma + beta
+        w_f, b_f = fold_batchnorm(w, b, gamma, beta, mean, var)
+        with no_grad():
+            folded = conv2d(Tensor(x), Tensor(w_f), Tensor(b_f)).data
+        np.testing.assert_allclose(folded, manual, atol=1e-5)
+
+    def test_fold_without_bias(self, rng):
+        w = rng.standard_normal((1, 1, 2, 2)).astype(np.float32)
+        gamma = np.ones(2, np.float32)
+        beta = np.zeros(2, np.float32)
+        mean = np.zeros(2, np.float32)
+        var = np.ones(2, np.float32)
+        w_f, b_f = fold_batchnorm(w, None, gamma, beta, mean, var, eps=0.0)
+        np.testing.assert_allclose(w_f, w, atol=1e-6)
+        np.testing.assert_allclose(b_f, 0, atol=1e-6)
+
+
+class TestRepVGGWithBN:
+    def test_collapse_after_training(self, rng):
+        blk = RepVGGBlock(4, 4, 3, identity=True, batchnorm=True, rng=rng)
+        opt = Adam(blk.parameters(), lr=1e-2)
+        for _ in range(4):
+            opt.zero_grad()
+            x = Tensor(rng.standard_normal((4, 6, 6, 4)).astype(np.float32))
+            loss = (blk(x) ** 2).mean()
+            loss.backward()
+            opt.step()
+        blk.eval()
+        x = rng.standard_normal((2, 7, 7, 4)).astype(np.float32)
+        with no_grad():
+            a = blk(Tensor(x)).data
+            b = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+    def test_bn_branches_registered(self):
+        blk = RepVGGBlock(4, 4, 3, identity=True, batchnorm=True)
+        names = {n for n, _ in blk.named_parameters()}
+        assert "bn_main.gamma" in names
+        assert "bn_identity.beta" in names
+
+    def test_no_bn_by_default(self):
+        blk = RepVGGBlock(4, 4, 3)
+        assert not any(isinstance(m, BatchNorm2d)
+                       for _, m in blk.named_modules())

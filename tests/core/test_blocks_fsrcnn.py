@@ -1,0 +1,144 @@
+"""Overparameterization block variants (§5.4) and the FSRCNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BLOCK_TYPES,
+    FSRCNN,
+    RepVGGBlock,
+    RepVGGSESR,
+    build_sesr_variant,
+)
+from repro.nn import Adam, Tensor, no_grad
+from repro.nn.losses import l1_loss
+
+
+class TestRepVGGBlock:
+    def test_collapse_equivalence_with_identity(self, rng):
+        blk = RepVGGBlock(4, 4, 3, identity=True, rng=rng)
+        blk.b_main.data[:] = rng.standard_normal(4) * 0.1
+        blk.b_branch.data[:] = rng.standard_normal(4) * 0.1
+        x = rng.standard_normal((2, 6, 7, 4)).astype(np.float32)
+        with no_grad():
+            a = blk(Tensor(x)).data
+            b = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=2e-5)
+
+    def test_collapse_equivalence_without_identity(self, rng):
+        blk = RepVGGBlock(2, 6, 5, identity=False, rng=rng)
+        x = rng.standard_normal((1, 8, 8, 2)).astype(np.float32)
+        with no_grad():
+            a = blk(Tensor(x)).data
+            b = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=2e-5)
+
+    def test_identity_needs_matching_channels(self, rng):
+        with pytest.raises(ValueError, match="identity"):
+            RepVGGBlock(2, 4, 3, identity=True, rng=rng)
+
+    def test_collapsed_weight_structure(self, rng):
+        blk = RepVGGBlock(3, 3, 3, identity=True, rng=rng)
+        w, b = blk.collapse()
+        # Centre tap contains main + branch + identity contributions.
+        expected_centre = (
+            blk.w_main.data[1, 1] + blk.w_branch.data[0, 0] + np.eye(3)
+        )
+        np.testing.assert_allclose(w[1, 1], expected_centre, atol=1e-6)
+        # Off-centre taps are main-branch only.
+        np.testing.assert_allclose(w[0, 0], blk.w_main.data[0, 0], atol=1e-6)
+
+
+class TestRepVGGSESR:
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_shapes_and_collapse(self, rng, scale):
+        net = RepVGGSESR(scale=scale, f=8, m=2, seed=5)
+        x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+        with no_grad():
+            a = net(Tensor(x)).data
+            b = net.collapse()(Tensor(x)).data
+        assert a.shape == (1, 6 * scale, 6 * scale, 1)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_trains(self, rng):
+        net = RepVGGSESR(scale=2, f=8, m=1, seed=0)
+        opt = Adam(net.parameters(), lr=1e-3)
+        x = Tensor(rng.standard_normal((2, 8, 8, 1)).astype(np.float32))
+        y = Tensor(rng.standard_normal((2, 16, 16, 1)).astype(np.float32) * 0.1)
+        losses = []
+        for _ in range(8):
+            opt.zero_grad()
+            loss = l1_loss(net(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestVariantBuilder:
+    @pytest.mark.parametrize("block_type", BLOCK_TYPES)
+    def test_all_variants_build_and_run(self, rng, block_type):
+        net = build_sesr_variant(block_type, f=8, m=2, expansion=16)
+        x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+        with no_grad():
+            out = net(Tensor(x))
+        assert out.shape == (1, 12, 12, 1)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="block_type"):
+            build_sesr_variant("resnet")
+
+    def test_expandnet_has_no_short_residuals(self):
+        net = build_sesr_variant("expandnet", f=8, m=2, expansion=16)
+        assert all(not blk.residual for blk in net.blocks)
+
+    def test_sesr_has_short_residuals(self):
+        net = build_sesr_variant("sesr", f=8, m=2, expansion=16)
+        assert all(blk.residual for blk in net.blocks)
+
+    def test_vgg_is_smallest(self):
+        """VGG trains the already-collapsed network — far fewer parameters."""
+        sizes = {
+            bt: build_sesr_variant(bt, f=8, m=2, expansion=16).num_parameters()
+            for bt in BLOCK_TYPES
+        }
+        assert sizes["vgg"] < sizes["repvgg"] < sizes["sesr"]
+        assert sizes["vgg"] == sizes["plain_residual"]
+
+
+class TestFSRCNN:
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_output_shape(self, rng, scale):
+        net = FSRCNN(scale=scale, d=12, s=4, m=1, seed=1)
+        x = Tensor(rng.standard_normal((1, 6, 7, 1)).astype(np.float32))
+        assert net(x).shape == (1, 6 * scale, 7 * scale, 1)
+
+    def test_paper_parameter_count(self):
+        """The configuration benchmarked in the paper: 12.46K conv weights."""
+        assert FSRCNN(scale=2).conv_num_parameters() == 12464
+
+    def test_structure(self):
+        net = FSRCNN(scale=2, m=4)
+        assert len(net.mapping) == 4
+        assert net.deconv.kernel_size == (9, 9)
+        assert net.deconv.stride == 2
+
+    def test_relu_variant(self):
+        net = FSRCNN(scale=2, activation="relu")
+        assert not any("alpha" in n for n, _ in net.named_parameters())
+        with pytest.raises(ValueError, match="activation"):
+            FSRCNN(activation="gelu")
+
+    def test_trains(self, rng):
+        net = FSRCNN(scale=2, d=8, s=4, m=1, seed=0)
+        opt = Adam(net.parameters(), lr=1e-3)
+        x = Tensor(rng.standard_normal((2, 6, 6, 1)).astype(np.float32))
+        y = Tensor(np.zeros((2, 12, 12, 1), dtype=np.float32))
+        losses = []
+        for _ in range(8):
+            opt.zero_grad()
+            loss = l1_loss(net(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

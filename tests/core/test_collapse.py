@@ -1,0 +1,186 @@
+"""Tests for Algorithms 1 & 2 (paper §3.1) and the collapse helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collapse import (
+    collapse_bias,
+    collapse_linear_block,
+    collapse_residual,
+    compose_pair,
+    expand_1x1_to_kxk,
+    identity_conv_rect,
+)
+from repro.nn import Tensor, conv2d, no_grad
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("k,cin,cout,p", [
+        (3, 1, 16, 64), (5, 1, 16, 32), (3, 16, 16, 64),
+        (5, 16, 4, 32), (1, 4, 4, 8),
+    ])
+    def test_matches_algebraic_composition(self, rng, k, cin, cout, p):
+        w1 = rng.standard_normal((k, k, cin, p)).astype(np.float32)
+        w2 = rng.standard_normal((1, 1, p, cout)).astype(np.float32)
+        alg1 = collapse_linear_block([w1, w2], (k, k), cin, cout)
+        fast = compose_pair(w1, w2)
+        np.testing.assert_allclose(alg1, fast, atol=1e-4)
+
+    def test_collapsed_conv_equals_sequential(self, rng):
+        """The defining property: conv(x, W_C) == conv1x1(convkxk(x))."""
+        w1 = rng.standard_normal((3, 3, 2, 32)).astype(np.float64)
+        w2 = rng.standard_normal((1, 1, 32, 2)).astype(np.float64)
+        x = rng.standard_normal((1, 7, 8, 2))
+        w_c = collapse_linear_block([w1, w2], (3, 3), 2, 2)
+        with no_grad():
+            seq = conv2d(conv2d(Tensor(x), Tensor(w1), padding="same"),
+                         Tensor(w2), padding="same").data
+            col = conv2d(Tensor(x), Tensor(w_c), padding="same").data
+        np.testing.assert_allclose(seq, col, atol=1e-10)
+
+    def test_three_layer_chain(self, rng):
+        """Algorithm 1 handles arbitrary linear stacks, e.g. 3×3∘3×3∘1×1."""
+        w1 = rng.standard_normal((3, 3, 2, 8)).astype(np.float64)
+        w2 = rng.standard_normal((3, 3, 8, 8)).astype(np.float64)
+        w3 = rng.standard_normal((1, 1, 8, 3)).astype(np.float64)
+        w_c = collapse_linear_block([w1, w2, w3], (5, 5), 2, 3)
+        assert w_c.shape == (5, 5, 2, 3)
+        x = rng.standard_normal((1, 9, 9, 2))
+        # Compare under 'valid' padding: with 'same', the intermediate
+        # zero-padding of stacked 3×3 convs is not equivalent to one
+        # 5×5 'same' conv at the borders (interiors agree either way).
+        with no_grad():
+            seq = conv2d(
+                conv2d(conv2d(Tensor(x), Tensor(w1), padding="valid"),
+                       Tensor(w2), padding="valid"),
+                Tensor(w3), padding="valid",
+            ).data
+            col = conv2d(Tensor(x), Tensor(w_c), padding="valid").data
+        np.testing.assert_allclose(seq, col, atol=1e-9)
+
+    def test_kernel_mismatch_raises(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        w2 = rng.standard_normal((1, 1, 4, 2)).astype(np.float32)
+        with pytest.raises(ValueError, match="receptive"):
+            collapse_linear_block([w1, w2], (5, 5), 2, 2)
+
+    def test_channel_mismatch_raises(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        w2 = rng.standard_normal((1, 1, 4, 2)).astype(np.float32)
+        with pytest.raises(ValueError, match="C_in"):
+            collapse_linear_block([w1, w2], (3, 3), 3, 2)
+        with pytest.raises(ValueError, match="C_out"):
+            collapse_linear_block([w1, w2], (3, 3), 2, 5)
+
+    @given(
+        k=st.sampled_from([1, 3, 5]),
+        cin=st.integers(1, 4),
+        cout=st.integers(1, 4),
+        p=st.integers(1, 12),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_alg1_equals_compose(self, k, cin, cout, p, seed):
+        rng = np.random.default_rng(seed)
+        w1 = rng.standard_normal((k, k, cin, p)).astype(np.float64)
+        w2 = rng.standard_normal((1, 1, p, cout)).astype(np.float64)
+        np.testing.assert_allclose(
+            collapse_linear_block([w1, w2], (k, k), cin, cout),
+            compose_pair(w1, w2),
+            atol=1e-10,
+        )
+
+
+class TestBiasFolding:
+    def test_matches_sequential_with_bias(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 8)).astype(np.float64)
+        b1 = rng.standard_normal(8).astype(np.float64)
+        w2 = rng.standard_normal((1, 1, 8, 3)).astype(np.float64)
+        b2 = rng.standard_normal(3).astype(np.float64)
+        x = rng.standard_normal((1, 6, 6, 2))
+        w_c = collapse_linear_block([w1, w2], (3, 3), 2, 3)
+        b_c = collapse_bias([w1, w2], [b1, b2])
+        with no_grad():
+            seq = conv2d(conv2d(Tensor(x), Tensor(w1), Tensor(b1), padding="same"),
+                         Tensor(w2), Tensor(b2), padding="same").data
+            col = conv2d(Tensor(x), Tensor(w_c), Tensor(b_c), padding="same").data
+        # Interior pixels must match exactly (the k×k bias interacts with
+        # zero padding at borders, which the collapsed form reproduces too
+        # only away from the boundary for multi-tap chains).
+        np.testing.assert_allclose(seq[:, 2:-2, 2:-2], col[:, 2:-2, 2:-2],
+                                   atol=1e-10)
+
+    def test_zero_biases_fold_to_zero(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        w2 = rng.standard_normal((1, 1, 4, 2)).astype(np.float32)
+        b = collapse_bias([w1, w2], [np.zeros(4, np.float32), np.zeros(2, np.float32)])
+        np.testing.assert_allclose(b, np.zeros(2), atol=1e-7)
+
+    def test_missing_bias_treated_as_zero(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 4)).astype(np.float32)
+        w2 = rng.standard_normal((1, 1, 4, 2)).astype(np.float32)
+        b2 = rng.standard_normal(2).astype(np.float32)
+        b = collapse_bias([w1, w2], [None, b2])
+        np.testing.assert_allclose(b, b2, atol=1e-6)
+
+
+class TestAlgorithm2:
+    @pytest.mark.parametrize("k", [3, 5])
+    def test_residual_weight_is_identity(self, rng, k):
+        w_c = rng.standard_normal((k, k, 4, 4)).astype(np.float32)
+        w_r = collapse_residual(w_c)
+        x = rng.standard_normal((1, 6, 6, 4)).astype(np.float32)
+        with no_grad():
+            y = conv2d(Tensor(x), Tensor(w_r), padding="same").data
+        np.testing.assert_allclose(y, x)
+
+    def test_center_index_placement(self):
+        w_r = collapse_residual(np.zeros((3, 3, 2, 2), dtype=np.float32))
+        assert w_r[1, 1, 0, 0] == 1.0 and w_r[1, 1, 1, 1] == 1.0
+        assert w_r.sum() == 2.0
+        w_r5 = collapse_residual(np.zeros((5, 5, 3, 3), dtype=np.float32))
+        assert w_r5[2, 2, 1, 1] == 1.0 and w_r5.sum() == 3.0
+
+    def test_sum_property(self, rng):
+        """conv(x, W_C + W_R) == conv(x, W_C) + x — the Fig. 2(c) identity."""
+        w_c = rng.standard_normal((3, 3, 3, 3)).astype(np.float64)
+        w_r = collapse_residual(w_c)
+        x = rng.standard_normal((1, 5, 5, 3))
+        with no_grad():
+            lhs = conv2d(Tensor(x), Tensor(w_c + w_r), padding="same").data
+            rhs = conv2d(Tensor(x), Tensor(w_c), padding="same").data + x
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="C_in == C_out"):
+            collapse_residual(np.zeros((3, 3, 2, 4), dtype=np.float32))
+
+    def test_even_kernel_raises(self):
+        with pytest.raises(ValueError, match="odd"):
+            collapse_residual(np.zeros((2, 2, 2, 2), dtype=np.float32))
+
+    def test_rect_identity(self, rng):
+        w = identity_conv_rect(3, 5, 2)
+        x = rng.standard_normal((1, 4, 7, 2)).astype(np.float32)
+        with no_grad():
+            y = conv2d(Tensor(x), Tensor(w), padding="same").data
+        np.testing.assert_allclose(y, x)
+
+
+class TestExpand1x1:
+    def test_centre_padding_preserves_function(self, rng):
+        w = rng.standard_normal((1, 1, 3, 4)).astype(np.float64)
+        wk = expand_1x1_to_kxk(w, 3, 3)
+        x = rng.standard_normal((1, 6, 6, 3))
+        with no_grad():
+            a = conv2d(Tensor(x), Tensor(w), padding="same").data
+            b = conv2d(Tensor(x), Tensor(wk), padding="same").data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValueError, match="1×1"):
+            expand_1x1_to_kxk(np.zeros((3, 3, 1, 1), dtype=np.float32), 3, 3)
+        with pytest.raises(ValueError, match="odd"):
+            expand_1x1_to_kxk(np.zeros((1, 1, 1, 1), dtype=np.float32), 2, 2)

@@ -1,0 +1,137 @@
+"""Collapsible Linear Block tests: functional equivalence across the three
+execution paths (expanded, collapsed-train, Algorithm-1 export), gradient
+flow into the expanded weights, and API validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CollapsibleLinearBlock
+from repro.nn import Adam, Tensor, no_grad
+from repro.nn.losses import l1_loss
+
+
+def _make_block(rng, **kwargs):
+    defaults = dict(
+        in_channels=3, out_channels=3, kernel_size=3, expansion=16, rng=rng
+    )
+    defaults.update(kwargs)
+    blk = CollapsibleLinearBlock(**defaults)
+    # Non-trivial biases so bias folding is actually exercised.
+    blk.b_expand.data[:] = rng.standard_normal(blk.expansion) * 0.1
+    blk.b_project.data[:] = rng.standard_normal(blk.out_channels) * 0.1
+    return blk
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("residual", [False, True])
+    @pytest.mark.parametrize("kernel", [3, 5, (3, 3)])
+    def test_three_paths_agree(self, rng, residual, kernel):
+        blk = _make_block(rng, kernel_size=kernel, residual=residual,
+                          mode="expanded")
+        x = rng.standard_normal((2, 7, 6, 3)).astype(np.float32)
+        with no_grad():
+            expanded = blk(Tensor(x)).data
+            blk.set_mode("collapsed")
+            collapsed = blk(Tensor(x)).data
+            exported = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(expanded, collapsed, atol=2e-5)
+        np.testing.assert_allclose(expanded, exported, atol=2e-5)
+
+    def test_even_asymmetric_kernels(self, rng):
+        for kernel in [(2, 2), (2, 1), (3, 2)]:
+            blk = _make_block(rng, kernel_size=kernel, mode="expanded")
+            x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+            with no_grad():
+                expanded = blk(Tensor(x)).data
+                blk.set_mode("collapsed")
+                collapsed = blk(Tensor(x)).data
+            np.testing.assert_allclose(expanded, collapsed, atol=2e-5)
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.sampled_from([3, 5]),
+           p=st.integers(2, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_property_collapse_exact(self, seed, k, p):
+        rng = np.random.default_rng(seed)
+        blk = _make_block(rng, kernel_size=k, expansion=p, residual=True,
+                          mode="expanded")
+        x = rng.standard_normal((1, 8, 8, 3)).astype(np.float64)
+        with no_grad():
+            a = blk(Tensor(x)).data
+            b = blk.to_conv2d()(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+
+class TestTrainingDynamics:
+    def test_gradients_reach_expanded_weights_in_collapsed_mode(self, rng):
+        """§3.3: forward in collapsed space, backward into expanded weights."""
+        blk = _make_block(rng, mode="collapsed")
+        x = Tensor(rng.standard_normal((2, 6, 6, 3)).astype(np.float32))
+        (blk(x) ** 2).sum().backward()
+        for name in ("w_expand", "b_expand", "w_project", "b_project"):
+            grad = getattr(blk, name).grad
+            assert grad is not None and np.abs(grad).max() > 0, name
+
+    def test_collapsed_and_expanded_gradients_match(self, rng):
+        """Both modes compute the same function, so same gradients."""
+        blk_c = _make_block(rng, mode="collapsed", residual=True)
+        blk_e = _make_block(rng, mode="expanded", residual=True)
+        blk_e.load_state_dict(blk_c.state_dict())
+        x = rng.standard_normal((1, 5, 5, 3)).astype(np.float64)
+        for blk in (blk_c, blk_e):
+            (blk(Tensor(x)) ** 2).sum().backward()
+        for name in ("w_expand", "w_project", "b_expand", "b_project"):
+            np.testing.assert_allclose(
+                getattr(blk_c, name).grad, getattr(blk_e, name).grad,
+                rtol=1e-3, atol=1e-4,
+            )
+
+    def test_one_adam_step_trains(self, rng):
+        blk = _make_block(rng, mode="collapsed")
+        opt = Adam(blk.parameters(), lr=1e-3)
+        x = Tensor(rng.standard_normal((2, 6, 6, 3)).astype(np.float32))
+        target = Tensor(rng.standard_normal((2, 6, 6, 3)).astype(np.float32))
+        losses = []
+        for _ in range(10):
+            opt.zero_grad()
+            loss = l1_loss(blk(x), target)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestAPI:
+    def test_collapsed_num_parameters(self, rng):
+        blk = _make_block(rng, in_channels=16, out_channels=16, kernel_size=3)
+        assert blk.collapsed_num_parameters() == 9 * 16 * 16
+        assert blk.collapsed_num_parameters(include_bias=True) == 9 * 16 * 16 + 16
+
+    def test_training_parameters_exceed_collapsed(self, rng):
+        blk = _make_block(rng, expansion=256)
+        assert blk.num_parameters() > 10 * blk.collapsed_num_parameters()
+
+    def test_residual_validation(self, rng):
+        with pytest.raises(ValueError, match="in_channels == out_channels"):
+            CollapsibleLinearBlock(2, 4, 3, residual=True, rng=rng)
+        with pytest.raises(ValueError, match="odd"):
+            CollapsibleLinearBlock(4, 4, 2, residual=True, rng=rng)
+
+    def test_mode_validation(self, rng):
+        with pytest.raises(ValueError, match="mode"):
+            CollapsibleLinearBlock(2, 2, 3, mode="bogus", rng=rng)
+        blk = _make_block(rng)
+        with pytest.raises(ValueError, match="mode"):
+            blk.set_mode("nope")
+
+    def test_export_shapes(self, rng):
+        blk = _make_block(rng, in_channels=2, out_channels=5, kernel_size=5)
+        w, b = blk.collapse()
+        assert w.shape == (5, 5, 2, 5)
+        assert b.shape == (5,)
+
+    def test_seeded_determinism(self):
+        a = CollapsibleLinearBlock(2, 2, 3, rng=np.random.default_rng(42))
+        b = CollapsibleLinearBlock(2, 2, 3, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a.w_expand.data, b.w_expand.data)

@@ -1,0 +1,171 @@
+"""SESR model tests: architecture, collapse export, scale transfer, and the
+paper's parameter formula."""
+
+import numpy as np
+import pytest
+
+from repro.core import SESR, SESR_CONFIGS, CollapsedSESR
+from repro.nn import Tensor, no_grad
+
+
+def tiny(scale=2, **kwargs):
+    defaults = dict(scale=scale, f=8, m=2, expansion=16, seed=7)
+    defaults.update(kwargs)
+    return SESR(**defaults)
+
+
+class TestArchitecture:
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_output_shape(self, rng, scale):
+        net = tiny(scale=scale)
+        x = Tensor(rng.standard_normal((2, 10, 12, 1)).astype(np.float32))
+        assert net(x).shape == (2, 10 * scale, 12 * scale, 1)
+
+    def test_invalid_scale_raises(self, rng):
+        net = tiny(scale=2)
+        net.scale = 3
+        with pytest.raises(ValueError, match="scale"):
+            net(Tensor(rng.standard_normal((1, 4, 4, 1)).astype(np.float32)))
+
+    def test_invalid_activation_raises(self):
+        with pytest.raises(ValueError, match="activation"):
+            SESR(activation="tanh")
+
+    def test_from_name_configs(self):
+        for name, (f, m) in SESR_CONFIGS.items():
+            net = SESR.from_name(name)
+            assert (net.f, net.m) == (f, m)
+        assert SESR.from_name("sesr-m5").m == 5
+        with pytest.raises(KeyError):
+            SESR.from_name("M99")
+
+    def test_block_count(self):
+        net = tiny(m=4)
+        assert len(net.blocks) == 4 and len(net.acts) == 4
+
+    def test_relu_variant_has_no_alpha(self):
+        net = tiny(activation="relu")
+        assert not any("alpha" in n for n, _ in net.named_parameters())
+
+    def test_seeded_determinism(self, rng):
+        a, b = tiny(seed=3), tiny(seed=3)
+        x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+        with no_grad():
+            np.testing.assert_array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_different_seeds_differ(self, rng):
+        a, b = tiny(seed=3), tiny(seed=4)
+        assert not np.allclose(a.first.w_expand.data, b.first.w_expand.data)
+
+
+class TestParameterFormula:
+    @pytest.mark.parametrize("name,scale,expected_k", [
+        ("M3", 2, 8.91), ("M5", 2, 13.52), ("M7", 2, 18.12), ("M11", 2, 27.34),
+        ("XL", 2, 105.37),
+        ("M3", 4, 13.71), ("M5", 4, 18.32), ("M11", 4, 32.14), ("XL", 4, 114.97),
+    ])
+    def test_matches_paper_tables(self, name, scale, expected_k):
+        net = SESR.from_name(name, scale=scale)
+        assert net.collapsed_num_parameters() == pytest.approx(
+            expected_k * 1000, rel=0.001
+        )
+
+    def test_formula_matches_actual_collapsed_weights(self):
+        net = tiny(f=8, m=2, scale=2)
+        collapsed = net.collapse()
+        actual = sum(
+            c.weight.size
+            for c in [collapsed.first, *collapsed.convs, collapsed.last]
+        )
+        assert actual == net.collapsed_num_parameters()
+
+
+class TestCollapse:
+    @pytest.mark.parametrize("scale", [2, 4])
+    @pytest.mark.parametrize("activation", ["prelu", "relu"])
+    def test_collapse_is_exact(self, rng, scale, activation):
+        net = tiny(scale=scale, activation=activation)
+        collapsed = net.collapse()
+        x = rng.standard_normal((1, 9, 11, 1)).astype(np.float32)
+        with no_grad():
+            a = net(Tensor(x)).data
+            b = collapsed(Tensor(x)).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_collapse_without_long_residuals(self, rng):
+        net = tiny(input_residual=False, feature_residual=False)
+        collapsed = net.collapse()
+        x = rng.standard_normal((1, 8, 8, 1)).astype(np.float32)
+        with no_grad():
+            np.testing.assert_allclose(
+                net(Tensor(x)).data, collapsed(Tensor(x)).data, atol=1e-5
+            )
+
+    def test_collapsed_is_standalone(self, rng):
+        """Mutating the training net must not affect the exported net."""
+        net = tiny()
+        collapsed = net.collapse()
+        x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+        with no_grad():
+            before = collapsed(Tensor(x)).data.copy()
+        for p in net.parameters():
+            p.data += 1.0
+        with no_grad():
+            after = collapsed(Tensor(x)).data
+        np.testing.assert_array_equal(before, after)
+
+    def test_collapsed_layer_count_is_m_plus_2(self):
+        net = tiny(m=3)
+        collapsed = net.collapse()
+        assert len(collapsed.convs) == 3  # + first + last = m + 2
+
+    def test_plain_conv_model_cannot_collapse(self):
+        net = tiny(linear_blocks=False)
+        with pytest.raises(ValueError, match="linear-block"):
+            net.collapse()
+
+    def test_collapsed_in_eval_mode(self):
+        assert tiny().collapse().training is False
+
+
+class TestScaleTransfer:
+    def test_convert_scale_preserves_trunk(self, rng):
+        """§5.1: ×4 models start from the pretrained ×2 trunk."""
+        x2 = tiny(scale=2)
+        for p in x2.parameters():
+            p.data += 0.01  # make weights distinctive
+        x4 = x2.convert_scale(4)
+        assert x4.scale == 4
+        np.testing.assert_array_equal(
+            x2.first.w_expand.data, x4.first.w_expand.data
+        )
+        np.testing.assert_array_equal(
+            x2.blocks[0].w_expand.data, x4.blocks[0].w_expand.data
+        )
+        # Head is re-initialised with SCALE²=16 output channels.
+        assert x4.last.w_project.shape[3] == 16
+        out = x4(Tensor(rng.standard_normal((1, 5, 5, 1)).astype(np.float32)))
+        assert out.shape == (1, 20, 20, 1)
+
+
+class TestAblationFlags:
+    @pytest.mark.parametrize("kwargs", [
+        dict(short_residuals=False),                       # ExpandNet config
+        dict(linear_blocks=False),                         # plain convs + res
+        dict(linear_blocks=False, short_residuals=False),  # pure VGG
+        dict(input_residual=False, activation="relu"),     # hardware variant
+        dict(feature_residual=False),
+    ])
+    def test_variants_run_and_differ(self, rng, kwargs):
+        base = tiny()
+        variant = tiny(**kwargs)
+        x = rng.standard_normal((1, 8, 8, 1)).astype(np.float32)
+        with no_grad():
+            out = variant(Tensor(x))
+        assert out.shape == (1, 16, 16, 1)
+
+    def test_plain_blocks_have_fewer_parameters(self):
+        assert (
+            tiny(linear_blocks=False).num_parameters()
+            < tiny(linear_blocks=True).num_parameters()
+        )

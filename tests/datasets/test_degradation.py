@@ -1,0 +1,91 @@
+"""Bicubic resampling tests (the SISR degradation model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    bicubic_downscale,
+    bicubic_resize,
+    bicubic_upscale,
+    crop_to_multiple,
+    cubic_kernel,
+)
+
+
+class TestCubicKernel:
+    def test_interpolating_conditions(self):
+        """Keys kernel: W(0)=1, W(±1)=W(±2)=0 — exact at sample points."""
+        assert cubic_kernel(np.array([0.0]))[0] == pytest.approx(1.0)
+        for x in (1.0, -1.0, 2.0, -2.0, 2.5):
+            assert cubic_kernel(np.array([x]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        xs = np.linspace(-2, 2, 41)
+        np.testing.assert_allclose(cubic_kernel(xs), cubic_kernel(-xs))
+
+    def test_partition_of_unity(self):
+        """Σ_n W(x − n) == 1 for all x (so constants are reproduced)."""
+        for x in np.linspace(0, 1, 11):
+            taps = cubic_kernel(x - np.arange(-2, 4))
+            assert taps.sum() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestResize:
+    def test_identity(self, rng):
+        img = rng.random((13, 9)).astype(np.float32)
+        np.testing.assert_allclose(bicubic_resize(img, 13, 9), img, atol=1e-6)
+
+    def test_shapes(self, rng):
+        img = rng.random((16, 24))
+        assert bicubic_resize(img, 8, 12).shape == (8, 12)
+        assert bicubic_resize(img, 32, 48).shape == (32, 48)
+        multi = rng.random((16, 16, 3))
+        assert bicubic_resize(multi, 8, 8).shape == (8, 8, 3)
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_preserved(self, seed, scale):
+        value = np.random.default_rng(seed).random()
+        img = np.full((12 * scale, 8 * scale), value)
+        down = bicubic_downscale(img, scale)
+        np.testing.assert_allclose(down, value, atol=1e-6)
+        up = bicubic_upscale(np.full((6, 6), value), scale)
+        np.testing.assert_allclose(up, value, atol=1e-6)
+
+    def test_downscale_antialias_attenuates_nyquist(self, rng):
+        """A pixel-rate checkerboard must vanish under antialiased ×2 down."""
+        img = np.indices((32, 32)).sum(axis=0) % 2 * 1.0
+        down = bicubic_downscale(img, 2)
+        assert np.abs(down - 0.5).max() < 0.25  # mostly averaged out
+
+    def test_down_then_up_close_on_smooth_images(self, rng):
+        ys, xs = np.mgrid[0:32, 0:32] / 32.0
+        img = 0.5 + 0.3 * np.sin(2 * np.pi * ys) * np.cos(2 * np.pi * xs)
+        rec = bicubic_upscale(bicubic_downscale(img, 2), 2)
+        assert np.abs(rec - img).mean() < 0.01
+
+    def test_upscale_is_linear(self, rng):
+        a = rng.random((8, 8))
+        b = rng.random((8, 8))
+        lhs = bicubic_upscale(2.0 * a + b, 2)
+        rhs = 2.0 * bicubic_upscale(a, 2) + bicubic_upscale(b, 2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-5)
+
+    def test_downscale_divisibility_check(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            bicubic_downscale(rng.random((9, 8)), 2)
+
+    def test_dtype_float32(self, rng):
+        assert bicubic_resize(rng.random((8, 8)), 4, 4).dtype == np.float32
+
+
+class TestCropToMultiple:
+    def test_crops_trailing(self):
+        img = np.zeros((10, 13))
+        assert crop_to_multiple(img, 4).shape == (8, 12)
+
+    def test_noop_when_divisible(self):
+        img = np.zeros((8, 12))
+        assert crop_to_multiple(img, 4).shape == (8, 12)

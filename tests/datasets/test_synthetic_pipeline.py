@@ -1,0 +1,176 @@
+"""Synthetic corpus, colour conversion, and training pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PROFILES,
+    SUITE_SIZES,
+    PatchSampler,
+    SyntheticDataset,
+    benchmark_suites,
+    bicubic_downscale,
+    from_batch,
+    generate_image,
+    luminance,
+    rgb_to_ycbcr,
+    to_batch,
+    ycbcr_to_rgb,
+)
+
+
+class TestSyntheticDataset:
+    def test_deterministic_across_instances(self):
+        a = SyntheticDataset("div2k", n_images=3, size=(64, 64), seed=9)
+        b = SyntheticDataset("div2k", n_images=3, size=(64, 64), seed=9)
+        for i in range(3):
+            np.testing.assert_array_equal(a[i][1], b[i][1])
+            np.testing.assert_array_equal(a[i][0], b[i][0])
+
+    def test_seed_changes_content(self):
+        a = SyntheticDataset("div2k", n_images=1, size=(64, 64), seed=1)
+        b = SyntheticDataset("div2k", n_images=1, size=(64, 64), seed=2)
+        assert not np.array_equal(a[0][1], b[0][1])
+
+    def test_profiles_change_content(self):
+        a = SyntheticDataset("urban100", n_images=1, size=(64, 64), seed=1)
+        b = SyntheticDataset("manga109", n_images=1, size=(64, 64), seed=1)
+        assert not np.array_equal(a[0][1], b[0][1])
+
+    def test_images_in_unit_range(self):
+        ds = SyntheticDataset("div2k", n_images=4, size=(48, 48), seed=0)
+        for lr, hr in ds:
+            assert hr.min() >= 0.0 and hr.max() <= 1.0
+            assert hr.dtype == np.float32
+
+    def test_lr_is_bicubic_downscale_of_hr(self):
+        ds = SyntheticDataset("set5", size=(48, 48), scale=2, seed=3)
+        lr, hr = ds[0]
+        np.testing.assert_allclose(lr, bicubic_downscale(hr, 2), atol=1e-6)
+
+    def test_scale4_shapes(self):
+        ds = SyntheticDataset("set14", size=(50, 46), scale=4, seed=0)
+        lr, hr = ds[0]
+        assert hr.shape == (48, 44)  # cropped to multiple of 4
+        assert lr.shape == (12, 11)
+
+    def test_suite_default_sizes(self):
+        for name, n in SUITE_SIZES.items():
+            assert len(SyntheticDataset(name, size=(32, 32))) == n
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="profile"):
+            SyntheticDataset("imagenet")
+
+    def test_index_errors(self):
+        ds = SyntheticDataset("set5", size=(32, 32))
+        with pytest.raises(IndexError):
+            ds[99]
+
+    def test_benchmark_suites_builder(self):
+        suites = benchmark_suites(2, names=("set5", "urban100"), size=(32, 32))
+        assert set(suites) == {"set5", "urban100"}
+        assert suites["set5"].scale == 2
+
+    def test_every_profile_renders(self):
+        rng = np.random.default_rng(0)
+        for profile in PROFILES.values():
+            img = generate_image(40, 40, rng, profile)
+            assert img.shape == (40, 40)
+            assert 0.0 <= img.min() and img.max() <= 1.0
+            assert img.std() > 0.005  # non-degenerate content
+
+
+class TestColor:
+    def test_roundtrip(self, rng):
+        rgb = rng.random((8, 8, 3)).astype(np.float32)
+        rec = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        np.testing.assert_allclose(rec, rgb, atol=2e-3)
+
+    def test_known_values(self):
+        white = np.ones((1, 1, 3))
+        y = rgb_to_ycbcr(white)[0, 0, 0]
+        assert y == pytest.approx(235 / 255, abs=1e-3)
+        black = np.zeros((1, 1, 3))
+        assert rgb_to_ycbcr(black)[0, 0, 0] == pytest.approx(16 / 255, abs=1e-3)
+
+    def test_luminance_shape(self, rng):
+        assert luminance(rng.random((5, 6, 3))).shape == (5, 6)
+
+    def test_bad_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(rng.random((5, 6)))
+
+
+class TestPatchSampler:
+    def _dataset(self):
+        return SyntheticDataset("div2k", n_images=3, size=(64, 64), scale=2, seed=1)
+
+    def test_batch_shapes(self):
+        sam = PatchSampler(self._dataset(), scale=2, patch_size=12,
+                           crops_per_image=4, batch_size=6, seed=0)
+        lr_b, hr_b = next(sam.batches())
+        assert lr_b.shape == (6, 12, 12, 1)
+        assert hr_b.shape == (6, 24, 24, 1)
+        assert lr_b.dtype == np.float32
+
+    def test_crop_correspondence(self):
+        """HR crop must be exactly the LR crop's footprint × scale."""
+        ds = self._dataset()
+        sam = PatchSampler(ds, scale=2, patch_size=8, batch_size=1, seed=3)
+        lr_c, hr_c = sam._sample_pair()
+        # Downscaling the HR crop must match the LR crop closely in the
+        # interior (the border is affected by out-of-crop context).
+        got = bicubic_downscale(hr_c, 2)
+        np.testing.assert_allclose(got[2:-2, 2:-2], lr_c[2:-2, 2:-2], atol=0.05)
+
+    def test_steps_per_epoch(self):
+        sam = PatchSampler(self._dataset(), scale=2, patch_size=8,
+                           crops_per_image=8, batch_size=4)
+        assert sam.steps_per_epoch() == 3 * 8 // 4
+        count = sum(1 for _ in sam.batches(epochs=2))
+        assert count == 2 * sam.steps_per_epoch()
+
+    def test_patch_too_large_raises(self):
+        sam = PatchSampler(self._dataset(), scale=2, patch_size=64, batch_size=1)
+        with pytest.raises(ValueError, match="patch"):
+            next(sam.batches())
+
+    def test_deterministic_given_seed(self):
+        def first_batch():
+            sam = PatchSampler(self._dataset(), scale=2, patch_size=8,
+                               batch_size=2, seed=11)
+            return next(sam.batches())
+
+        a, b = first_batch(), first_batch()
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestBatchHelpers:
+    def test_roundtrip(self, rng):
+        img = rng.random((5, 7)).astype(np.float32)
+        np.testing.assert_array_equal(from_batch(to_batch(img)), img)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            to_batch(rng.random((5, 7, 1)))
+        with pytest.raises(ValueError):
+            from_batch(rng.random((2, 5, 7, 1)))
+
+
+class TestColorEdgeCases:
+    def test_ycbcr_to_rgb_clips(self):
+        # Saturated YCbCr values map into [0, 1] after clipping.
+        from repro.datasets import ycbcr_to_rgb
+
+        extreme = np.ones((2, 2, 3), dtype=np.float32)
+        rgb = ycbcr_to_rgb(extreme)
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+    def test_grayscale_rgb_maps_to_constant_chroma(self):
+        from repro.datasets import rgb_to_ycbcr
+
+        grey = np.full((3, 3, 3), 0.5, dtype=np.float32)
+        ycbcr = rgb_to_ycbcr(grey)
+        np.testing.assert_allclose(ycbcr[..., 1], 128 / 255, atol=1e-3)
+        np.testing.assert_allclose(ycbcr[..., 2], 128 / 255, atol=1e-3)

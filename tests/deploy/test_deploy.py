@@ -1,0 +1,245 @@
+"""Deployment-path tests: quantization and functional tiled inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SESR
+from repro.deploy import (
+    QuantParams,
+    calibrate_tensor,
+    calibrate_weight_per_channel,
+    halo_overhead,
+    paper_tile_grid,
+    quantize_sesr,
+    receptive_radius,
+    tiled_upscale,
+)
+from repro.datasets import SyntheticDataset
+from repro.metrics import psnr, sesr_specs
+from repro.train import predict_image
+
+
+_TRAINED_CACHE = {}
+
+
+def trained_collapsed(seed=0):
+    """A small trained-ish collapsed net (a few steps so weights are live).
+
+    Cached per seed — training once is enough; tests must not mutate it.
+    """
+    if seed not in _TRAINED_CACHE:
+        from repro.datasets import PatchSampler
+        from repro.train import Trainer
+
+        model = SESR(scale=2, f=8, m=2, expansion=16, seed=seed)
+        ds = SyntheticDataset("div2k", n_images=3, size=(48, 48), scale=2,
+                              seed=1)
+        sam = PatchSampler(ds, scale=2, patch_size=12, crops_per_image=4,
+                           batch_size=4, seed=2)
+        Trainer(model, lr=2e-3).fit(sam, epochs=3)
+        _TRAINED_CACHE[seed] = model.collapse()
+    return _TRAINED_CACHE[seed]
+
+
+class TestQuantParams:
+    def test_fake_quant_idempotent(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        params = calibrate_tensor(x)
+        once = params.fake_quant(x)
+        twice = params.fake_quant(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_quantization_error_bounded(self, rng):
+        x = rng.uniform(-3, 3, 1000)
+        params = calibrate_tensor(x, bits=8)
+        err = np.abs(params.fake_quant(x) - x).max()
+        assert err <= params.scale / 2 + 1e-9
+
+    def test_symmetric_zero_point(self, rng):
+        params = calibrate_tensor(rng.standard_normal(50), symmetric=True)
+        assert params.zero_point == 0
+        assert params.symmetric
+
+    def test_range_limits(self):
+        params = QuantParams(scale=np.float64(1.0),
+                             zero_point=np.float64(0.0), bits=8)
+        assert params.qmin == -128 and params.qmax == 127
+        q = params.quantize(np.array([1e6, -1e6]))
+        np.testing.assert_allclose(q, [127, -128])
+
+    def test_zero_always_representable(self, rng):
+        x = rng.uniform(5.0, 9.0, 100)  # strictly positive data
+        params = calibrate_tensor(x, bits=8)
+        assert np.abs(params.fake_quant(np.zeros(1))).max() < params.scale
+
+    @given(st.integers(2, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_more_bits_less_error(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, 256)
+        lo = calibrate_tensor(x, bits=bits)
+        hi = calibrate_tensor(x, bits=bits + 2)
+        err_lo = np.abs(lo.fake_quant(x) - x).mean()
+        err_hi = np.abs(hi.fake_quant(x) - x).mean()
+        assert err_hi <= err_lo + 1e-12
+
+
+class TestWeightCalibration:
+    def test_per_channel_scales(self, rng):
+        w = rng.standard_normal((3, 3, 4, 8)).astype(np.float32)
+        w[..., 0] *= 10  # one channel with much larger range
+        params = calibrate_weight_per_channel(w)
+        assert params.scale.shape == (8,)
+        assert params.scale[0] > 5 * params.scale[1]
+
+    def test_exact_for_tiny_grids(self):
+        w = np.array([[[[0.5, -1.0]]]], dtype=np.float32)
+        params = calibrate_weight_per_channel(w)
+        np.testing.assert_allclose(params.fake_quant(w), w, atol=1e-2)
+
+
+class TestQuantizedSESR:
+    def test_int8_close_to_float(self, rng):
+        col = trained_collapsed()
+        ds = SyntheticDataset("set5", n_images=3, size=(64, 64), scale=2, seed=7)
+        calib = [ds[i][0] for i in range(2)]
+        q = quantize_sesr(col, calib_images=calib)
+        lr_img, hr_img = ds[2]
+        p_float = psnr(predict_image(col, lr_img), hr_img, border=2)
+        p_int8 = psnr(predict_image(q, lr_img), hr_img, border=2)
+        assert p_int8 > p_float - 1.5  # int8 costs little quality
+
+    def test_weight_only_mode(self):
+        col = trained_collapsed()
+        q = quantize_sesr(col, calib_images=None)
+        assert q.first.act_params is None
+
+    def test_model_size_4x_smaller(self):
+        col = trained_collapsed()
+        q = quantize_sesr(col)
+        assert q.float_weight_bytes() == 4 * q.weight_bytes()
+
+    def test_lower_bits_larger_deviation_from_float(self):
+        """Quantization error vs the float model grows as bits shrink."""
+        col = trained_collapsed()
+        ds = SyntheticDataset("set5", n_images=2, size=(64, 64), scale=2, seed=7)
+        calib = [ds[0][0]]
+        lr_img, _ = ds[1]
+        reference = predict_image(col, lr_img)
+        err = {}
+        for bits in (8, 4, 2):
+            q = quantize_sesr(col, calib, weight_bits=bits, act_bits=bits)
+            err[bits] = float(np.abs(predict_image(q, lr_img) - reference).mean())
+        assert err[8] < err[4] < err[2]
+
+    def test_observer_requires_data(self):
+        from repro.deploy import ActivationObserver
+
+        with pytest.raises(RuntimeError):
+            ActivationObserver().params()
+
+
+class TestTiledInference:
+    def test_receptive_radius_formula(self):
+        # SESR: 5×5 + m·3×3 + 5×5 -> 2 + m + 2.
+        for m in (2, 5, 11):
+            specs = sesr_specs(8, m, 2)
+            assert receptive_radius(specs) == m + 4
+
+    def test_exact_with_default_halo(self):
+        col = trained_collapsed()
+        ds = SyntheticDataset("set14", n_images=1, size=(72, 56), scale=2, seed=4)
+        lr_img, _ = ds[0]
+        full = predict_image(col, lr_img)
+        for tile in [(16, 16), (20, 12), (36, 28)]:
+            tiled = tiled_upscale(col, lr_img, 2, tile=tile)
+            np.testing.assert_allclose(tiled, full, atol=1e-6)
+
+    def test_insufficient_halo_diverges(self):
+        col = trained_collapsed()
+        ds = SyntheticDataset("set14", n_images=1, size=(48, 48), scale=2, seed=4)
+        lr_img, _ = ds[0]
+        full = predict_image(col, lr_img)
+        tiled = tiled_upscale(col, lr_img, 2, tile=(12, 12), halo=0)
+        assert np.abs(tiled - full).max() > 1e-4
+
+    def test_non_divisible_frame(self):
+        col = trained_collapsed()
+        lr_img = np.random.default_rng(0).random((35, 29)).astype(np.float32)
+        full = predict_image(col, lr_img)
+        tiled = tiled_upscale(col, lr_img, 2, tile=(16, 16))
+        np.testing.assert_allclose(tiled, full, atol=1e-6)
+
+    def test_bad_tile_raises(self):
+        col = trained_collapsed()
+        with pytest.raises(ValueError):
+            tiled_upscale(col, np.zeros((8, 8), np.float32), 2, tile=(0, 4))
+
+    def test_halo_overhead_properties(self):
+        # Zero halo means zero overhead.
+        assert halo_overhead(1080, 1920, (300, 400), 0) == pytest.approx(0.0)
+        # Larger halo means more overhead; values are modest.
+        small = halo_overhead(1080, 1920, (300, 400), 4)
+        large = halo_overhead(1080, 1920, (300, 400), 16)
+        assert 0 < small < large < 0.5
+
+    def test_paper_tile_grid(self):
+        assert paper_tile_grid() == pytest.approx(17.28)
+
+
+class TestSelfEnsemble:
+    def test_improves_or_matches_trained_model(self):
+        from repro.deploy import self_ensemble
+
+        col = trained_collapsed()
+        ds = SyntheticDataset("set14", n_images=3, size=(48, 48), scale=2,
+                              seed=9)
+        plain, ensembled = [], []
+        for lr_img, hr_img in ds:
+            plain.append(psnr(predict_image(col, lr_img), hr_img, border=2))
+            ensembled.append(psnr(self_ensemble(col, lr_img, 2), hr_img,
+                                  border=2))
+        assert np.mean(ensembled) >= np.mean(plain) - 0.05
+
+    def test_single_transform_equals_plain(self):
+        from repro.deploy import self_ensemble
+
+        col = trained_collapsed()
+        img = np.random.default_rng(3).random((20, 16)).astype(np.float32)
+        one = self_ensemble(col, img, 2, transforms=1)
+        np.testing.assert_allclose(one, predict_image(col, img), atol=1e-6)
+
+    def test_output_geometry_non_square(self):
+        from repro.deploy import self_ensemble
+
+        col = trained_collapsed()
+        img = np.random.default_rng(4).random((18, 26)).astype(np.float32)
+        out = self_ensemble(col, img, 2)
+        assert out.shape == (36, 52)
+
+    def test_deterministic_and_dihedral_covariant(self):
+        """The ensemble itself is deterministic, and transforming the input
+        by a dihedral element transforms the full-8 ensemble output the
+        same way (the ensemble operator *is* equivariant even though the
+        underlying model is not — averaging over the whole group commutes
+        with every group element)."""
+        from repro.deploy import self_ensemble
+
+        col = trained_collapsed()
+        img = np.random.default_rng(5).random((14, 14)).astype(np.float32)
+        a = self_ensemble(col, img, 2)
+        b = self_ensemble(col, img, 2)
+        np.testing.assert_array_equal(a, b)
+        rotated = self_ensemble(col, np.ascontiguousarray(np.rot90(img)), 2)
+        np.testing.assert_allclose(rotated, np.rot90(a), atol=1e-5)
+
+    def test_transform_count_validation(self):
+        from repro.deploy import self_ensemble
+
+        col = trained_collapsed()
+        with pytest.raises(ValueError):
+            self_ensemble(col, np.zeros((8, 8), np.float32), 2, transforms=0)
+        with pytest.raises(ValueError):
+            self_ensemble(col, np.zeros((8, 8), np.float32), 2, transforms=9)

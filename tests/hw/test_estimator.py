@@ -1,0 +1,186 @@
+"""NPU performance-estimator tests: Fig. 1(b) theoretical numbers, roofline
+behaviour, lane utilisation, spill logic, and the Table 3 shape claims."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    ETHOS_N78_4TOPS,
+    IDEAL_4TOPS,
+    NPUSpec,
+    estimate,
+    estimate_tiled,
+    fsrcnn_graph,
+    graph_from_specs,
+    sesr_hw_graph,
+    sesr_paper_graph,
+    theoretical_fps,
+)
+from repro.metrics import LayerSpec
+
+
+class TestLaneUtilization:
+    def test_aligned_channels_full_util(self):
+        spec = NPUSpec(lane_channels=16)
+        assert spec.lane_utilization(16) == 1.0
+        assert spec.lane_utilization(32) == 1.0
+
+    def test_misaligned_channels(self):
+        spec = NPUSpec(lane_channels=16)
+        assert spec.lane_utilization(1) == pytest.approx(1 / 16)
+        assert spec.lane_utilization(4) == pytest.approx(4 / 16)
+        assert spec.lane_utilization(56) == pytest.approx(56 / 64)
+
+    def test_zero_channels_is_noop(self):
+        assert NPUSpec().lane_utilization(0) == 1.0
+
+
+class TestTheoreticalFPS:
+    def test_fsrcnn_fig1b_anchor(self):
+        """Fig. 1(b): FSRCNN theoretically reaches ~37 FPS on 4 TOP/s."""
+        graph = fsrcnn_graph(2, 1080, 1920)
+        fps = theoretical_fps(graph, IDEAL_4TOPS)
+        assert fps == pytest.approx(37.0, rel=0.02)
+
+    def test_sesr_m5_faster_than_fsrcnn(self):
+        f = theoretical_fps(fsrcnn_graph(2, 1080, 1920), IDEAL_4TOPS)
+        s = theoretical_fps(sesr_hw_graph(16, 5, 2, 1080, 1920), IDEAL_4TOPS)
+        assert s > 1.8 * f
+
+    def test_three_of_five_sesr_near_60fps(self):
+        """Fig. 1(b): 'three out of five SESR CNNs achieve nearly 60 FPS'."""
+        configs = [(16, 3), (16, 5), (16, 7), (16, 11), (32, 11)]
+        fps = [
+            theoretical_fps(sesr_hw_graph(f, m, 2, 1080, 1920), IDEAL_4TOPS)
+            for f, m in configs
+        ]
+        assert sum(v >= 50.0 for v in fps) == 3
+        assert fps == sorted(fps, reverse=True)  # smaller model -> faster
+
+
+class TestRooflineBehaviour:
+    def test_more_macs_more_time(self):
+        small = estimate(sesr_hw_graph(16, 3, 2, 540, 960), ETHOS_N78_4TOPS)
+        large = estimate(sesr_hw_graph(16, 11, 2, 540, 960), ETHOS_N78_4TOPS)
+        assert large.runtime_sec > small.runtime_sec
+        assert large.total_macs > small.total_macs
+
+    def test_infinite_bandwidth_compute_bound(self):
+        npu = NPUSpec(dram_bandwidth=float("inf"))
+        report = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), npu)
+        assert all(l.bound == "compute" for l in report.layers if l.macs > 0)
+
+    def test_tiny_bandwidth_memory_bound(self):
+        npu = NPUSpec(dram_bandwidth=1e6)
+        report = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), npu)
+        conv_layers = [l for l in report.layers if l.kind == "conv"]
+        assert all(l.bound == "memory" for l in conv_layers)
+
+    def test_small_maps_stay_in_sram(self):
+        """At tiny resolution nothing spills; only graph I/O hits DRAM."""
+        npu = NPUSpec(sram_bytes=10e6)
+        report = estimate(sesr_hw_graph(16, 5, 2, 32, 32), npu)
+        interior = [l for l in report.layers[1:-1] if l.kind == "conv"]
+        weight_only = [l.dram_bytes for l in interior]
+        # Interior conv traffic is just weights (tiny).
+        assert max(weight_only) < 50e3
+
+    def test_report_properties(self):
+        report = estimate(sesr_hw_graph(16, 5, 2, 270, 480), ETHOS_N78_4TOPS)
+        assert report.dram_mb == pytest.approx(report.dram_bytes / 1e6)
+        assert report.fps == pytest.approx(1.0 / report.runtime_sec)
+        assert report.runtime_ms == pytest.approx(report.runtime_sec * 1e3)
+
+    def test_utilization_in_unit_interval(self):
+        report = estimate(fsrcnn_graph(2, 270, 480), ETHOS_N78_4TOPS)
+        assert all(0 < l.utilization <= 1 for l in report.layers)
+
+
+class TestTable3Shape:
+    """The hardware-evaluation claims (§5.6) as tolerance-band assertions."""
+
+    def test_macs_columns_exact(self):
+        assert fsrcnn_graph(2, 1080, 1920).total_macs() == pytest.approx(54e9, rel=0.01)
+        assert sesr_hw_graph(16, 5, 2, 1080, 1920).total_macs() == pytest.approx(28e9, rel=0.01)
+        assert sesr_hw_graph(16, 5, 4, 1080, 1920).total_macs() == pytest.approx(38e9, rel=0.01)
+
+    def test_sesr_substantially_faster_than_fsrcnn(self):
+        """Paper: 6.15× runtime improvement; our calibrated model: ≥ 3.5×."""
+        f = estimate(fsrcnn_graph(2, 1080, 1920), ETHOS_N78_4TOPS)
+        s = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), ETHOS_N78_4TOPS)
+        ratio = f.runtime_sec / s.runtime_sec
+        assert 3.5 <= ratio <= 9.0
+
+    def test_dram_roughly_2x_smaller(self):
+        """Paper: FSRCNN uses ~2× the DRAM of SESR-M5."""
+        f = estimate(fsrcnn_graph(2, 1080, 1920), ETHOS_N78_4TOPS)
+        s = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), ETHOS_N78_4TOPS)
+        assert 1.4 <= f.dram_bytes / s.dram_bytes <= 2.6
+
+    def test_x4_slower_than_x2(self):
+        """1080p→8K costs more than 1080p→4K (paper: 45.09 vs 27.22 ms)."""
+        x2 = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), ETHOS_N78_4TOPS)
+        x4 = estimate(sesr_hw_graph(16, 5, 4, 1080, 1920), ETHOS_N78_4TOPS)
+        assert x4.runtime_sec > x2.runtime_sec
+        assert x4.dram_bytes > x2.dram_bytes
+
+    def test_absolute_runtimes_within_band(self):
+        """Calibrated model lands within ±50% of every Table 3 runtime."""
+        from repro.hw import anchor_rows
+
+        for anchor, evaluator in anchor_rows():
+            ms, _ = evaluator(ETHOS_N78_4TOPS)
+            assert 0.5 * anchor.runtime_ms <= ms <= 1.5 * anchor.runtime_ms, anchor.name
+
+
+class TestTiling:
+    def test_paper_tile_count(self):
+        graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
+        report = estimate_tiled(graph, ETHOS_N78_4TOPS, 300, 400)
+        assert report.n_tiles == pytest.approx(17.28)
+
+    def test_tiling_improves_per_frame_time(self):
+        graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
+        full = estimate(graph, ETHOS_N78_4TOPS)
+        tiled = estimate_tiled(graph, ETHOS_N78_4TOPS, 300, 400)
+        assert tiled.total_runtime_sec < full.runtime_sec
+
+    def test_tiled_fsrcnn_vs_sesr_8x_band(self):
+        """Paper: tiling brings the FSRCNN→SESR gap to ~8× (6 vs 46 FPS)."""
+        fsr = estimate(fsrcnn_graph(2, 1080, 1920), ETHOS_N78_4TOPS)
+        sesr_tiled = estimate_tiled(
+            sesr_hw_graph(16, 5, 2, 1080, 1920), ETHOS_N78_4TOPS, 300, 400
+        )
+        ratio = fsr.runtime_sec / sesr_tiled.total_runtime_sec
+        assert 4.0 <= ratio <= 12.0
+
+    def test_halo_factor_increases_cost(self):
+        graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
+        plain = estimate_tiled(graph, ETHOS_N78_4TOPS, 300, 400)
+        halo = estimate_tiled(graph, ETHOS_N78_4TOPS, 300, 400, halo_factor=1.1)
+        assert halo.total_runtime_sec == pytest.approx(
+            plain.total_runtime_sec * 1.1
+        )
+
+    def test_tile_larger_than_frame_raises(self):
+        graph = sesr_hw_graph(16, 5, 2, 270, 480)
+        with pytest.raises(ValueError):
+            estimate_tiled(graph, ETHOS_N78_4TOPS, 300, 400)
+
+
+class TestGraphs:
+    def test_paper_graph_includes_black_residual(self):
+        hw = sesr_hw_graph(16, 5, 2, 100, 100)
+        paper = sesr_paper_graph(16, 5, 2, 100, 100)
+        assert len([s for s in paper.specs if s.kind == "add"]) == 2
+        assert len([s for s in hw.specs if s.kind == "add"]) == 1
+
+    def test_with_resolution(self):
+        g = sesr_hw_graph(16, 5, 2, 1080, 1920).with_resolution(300, 400)
+        assert (g.in_h, g.in_w) == (300, 400)
+        assert g.specs is not None
+
+    def test_graph_from_specs(self):
+        specs = [LayerSpec("conv", (3, 3), 4, 4, 1.0)]
+        g = graph_from_specs("custom", specs, 10, 10)
+        assert g.total_macs() == 9 * 16 * 100

@@ -1,0 +1,125 @@
+"""Estimator edge cases: adds, overheads, deconv lowering, layer accounting."""
+
+import pytest
+
+from repro.hw import NPUSpec, estimate, graph_from_specs
+from repro.metrics import LayerSpec
+
+
+def graph(specs, h=100, w=100):
+    return graph_from_specs("t", specs, h, w)
+
+
+class TestAddLayers:
+    def test_spilled_add_costs_memory(self):
+        npu = NPUSpec(sram_bytes=1.0)  # everything spills
+        specs = [
+            LayerSpec("conv", (3, 3), 4, 4, 1.0, "c"),
+            LayerSpec("add", (1, 1), 4, 4, 1.0, "residual"),
+        ]
+        report = estimate(graph(specs), npu)
+        add = report.layers[1]
+        assert add.dram_bytes > 0
+        assert add.macs == 0
+
+    def test_resident_add_is_free(self):
+        npu = NPUSpec(sram_bytes=1e12)
+        specs = [
+            LayerSpec("conv", (3, 3), 4, 4, 1.0, "c"),
+            LayerSpec("add", (1, 1), 4, 4, 1.0, "residual"),
+        ]
+        report = estimate(graph(specs), npu)
+        assert report.layers[1].dram_bytes == 0
+
+
+class TestOverheadAndAccounting:
+    def test_layer_overhead_adds_up(self):
+        specs = [LayerSpec("conv", (3, 3), 4, 4, 1.0)] * 3
+        base = estimate(graph(specs), NPUSpec(layer_overhead_sec=0.0))
+        with_oh = estimate(graph(specs), NPUSpec(layer_overhead_sec=1.0))
+        assert with_oh.runtime_sec >= base.runtime_sec + 2.9
+
+    def test_totals_are_layer_sums(self):
+        specs = [
+            LayerSpec("conv", (5, 5), 1, 16, 1.0),
+            LayerSpec("conv", (3, 3), 16, 16, 1.0),
+            LayerSpec("depth_to_space", (1, 1), 16, 4, 2.0),
+        ]
+        report = estimate(graph(specs), NPUSpec())
+        assert report.total_macs == sum(l.macs for l in report.layers)
+        assert report.dram_bytes == pytest.approx(
+            sum(l.dram_bytes for l in report.layers)
+        )
+        assert report.runtime_sec == pytest.approx(
+            sum(l.time_sec for l in report.layers)
+        )
+
+    def test_weight_traffic_counted(self):
+        npu = NPUSpec(sram_bytes=1e12)  # activations resident
+        specs = [LayerSpec("conv", (3, 3), 16, 16, 1.0)]
+        # Interior conv of a 2-layer graph: neither graph input nor output.
+        specs = [LayerSpec("conv", (3, 3), 16, 16, 1.0)] * 3
+        report = estimate(graph(specs), npu)
+        mid = report.layers[1]
+        assert mid.dram_bytes == pytest.approx(9 * 16 * 16)  # weights only
+
+
+class TestDeconvLowering:
+    def test_deconv_utilisation_uses_subpixel_channels(self):
+        npu = NPUSpec(lane_channels=16)
+        # 1-output-channel deconv at ×4 lowers to 16 channels: full lanes.
+        specs = [LayerSpec("deconv", (9, 9), 16, 1, 4.0, "deconv")]
+        report = estimate(graph(specs), npu)
+        assert report.layers[0].utilization == pytest.approx(1.0)
+        # At ×2 it lowers to 4 channels: quarter utilisation.
+        specs = [LayerSpec("deconv", (9, 9), 16, 1, 2.0, "deconv")]
+        report = estimate(graph(specs), npu)
+        assert report.layers[0].utilization == pytest.approx(4 / 16)
+
+    def test_deconv_macs_use_output_resolution(self):
+        specs = [LayerSpec("deconv", (9, 9), 8, 1, 2.0)]
+        report = estimate(graph(specs, 10, 10), NPUSpec())
+        assert report.total_macs == 81 * 8 * 400  # 20×20 output pixels
+
+
+class TestReports:
+    def _graphs(self):
+        from repro.hw import fsrcnn_graph, sesr_hw_graph
+
+        return {
+            "FSRCNN": fsrcnn_graph(2, 270, 480),
+            "SESR-M5": sesr_hw_graph(16, 5, 2, 270, 480),
+        }
+
+    def test_layer_breakdown_contents(self):
+        from repro.hw import ETHOS_N78_4TOPS, estimate, layer_breakdown
+
+        report = estimate(self._graphs()["SESR-M5"], ETHOS_N78_4TOPS)
+        text = layer_breakdown(report)
+        assert "first_5x5" in text and "bound" in text
+        assert f"{report.runtime_ms:.2f} ms" in text
+
+    def test_bottleneck(self):
+        from repro.hw import ETHOS_N78_4TOPS, bottleneck, estimate
+
+        report = estimate(self._graphs()["FSRCNN"], ETHOS_N78_4TOPS)
+        name, share = bottleneck(report)
+        assert 0 < share <= 1
+        assert name == "deconv_9x9"  # FSRCNN's known hotspot
+
+    def test_compare_models_table(self):
+        from repro.hw import ETHOS_N78_4TOPS, compare_models
+
+        text = compare_models(self._graphs(), ETHOS_N78_4TOPS, tile=(90, 120))
+        assert "FSRCNN" in text and "SESR-M5" in text and "tiled" in text
+
+    def test_markdown_report(self):
+        from repro.hw import ETHOS_N78_4TOPS, markdown_report
+
+        md = markdown_report(self._graphs(), ETHOS_N78_4TOPS,
+                             include_layers=["SESR-M5"])
+        assert md.startswith("# NPU performance report")
+        assert "## SESR-M5" in md
+        with pytest.raises(KeyError):
+            markdown_report(self._graphs(), ETHOS_N78_4TOPS,
+                            include_layers=["nope"])

@@ -1,0 +1,50 @@
+"""Ethos-N78 product-line scaling tests."""
+
+import pytest
+
+from repro.hw import (
+    ETHOS_N78_4TOPS,
+    ETHOS_N78_FAMILY,
+    estimate,
+    scaled_variant,
+    sesr_hw_graph,
+)
+
+
+class TestScaledVariants:
+    def test_4tops_is_the_calibrated_point(self):
+        spec = ETHOS_N78_FAMILY[4.0]
+        assert spec.peak_macs_per_sec == ETHOS_N78_4TOPS.peak_macs_per_sec
+        assert spec.sram_bytes == ETHOS_N78_4TOPS.sram_bytes
+
+    def test_compute_scales_linearly(self):
+        assert ETHOS_N78_FAMILY[8.0].peak_macs_per_sec == pytest.approx(
+            2 * ETHOS_N78_FAMILY[4.0].peak_macs_per_sec
+        )
+        assert ETHOS_N78_FAMILY[1.0].sram_bytes == pytest.approx(
+            ETHOS_N78_FAMILY[4.0].sram_bytes / 4
+        )
+
+    def test_dram_bandwidth_shared(self):
+        bws = {s.dram_bandwidth for s in ETHOS_N78_FAMILY.values()}
+        assert bws == {ETHOS_N78_4TOPS.dram_bandwidth}
+
+    def test_invalid_tops(self):
+        with pytest.raises(ValueError):
+            scaled_variant(0)
+
+    def test_fps_monotone_with_diminishing_returns(self):
+        """More TOPS → more FPS, but memory-bound saturation sets in."""
+        graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
+        fps = [estimate(graph, ETHOS_N78_FAMILY[t]).fps
+               for t in (1.0, 2.0, 4.0, 8.0, 10.0)]
+        assert all(b >= a for a, b in zip(fps, fps[1:]))
+        # Perfect compute scaling would give 10×; memory limits it.
+        assert fps[-1] < 10 * fps[0]
+
+    def test_bigger_parts_unlock_bigger_models(self):
+        """SESR-XL at 1080p needs the high-end parts for real-time rates."""
+        graph = sesr_hw_graph(32, 11, 2, 1080, 1920)
+        small = estimate(graph, ETHOS_N78_FAMILY[1.0]).fps
+        large = estimate(graph, ETHOS_N78_FAMILY[8.0]).fps
+        assert large > 3 * small

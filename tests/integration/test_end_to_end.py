@@ -1,0 +1,99 @@
+"""Integration tests spanning the whole stack: train → collapse → deploy."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import SESR, FSRCNN
+from repro.datasets import SyntheticDataset, benchmark_suites
+from repro.hw import ETHOS_N78_4TOPS, estimate, graph_from_specs
+from repro.metrics import specs_from_module
+from repro.nn import Tensor, load_state, no_grad, save_state
+from repro.train import (
+    ExperimentConfig,
+    evaluate_model,
+    predict_image,
+    run_experiment,
+)
+
+pytestmark = pytest.mark.integration
+
+CFG = ExperimentConfig(
+    epochs=6, train_images=6, train_size=(64, 64),
+    patch_size=16, crops_per_image=8, batch_size=4, lr=2e-3,
+)
+
+
+def _suites():
+    return benchmark_suites(2, names=("set5",), size=(64, 64), n_images=3)
+
+
+class TestTrainCollapseDeploy:
+    def test_full_pipeline(self):
+        """Train a small SESR, collapse it, verify quality transfers and the
+        collapsed net maps onto the NPU estimator."""
+        model = SESR(scale=2, f=8, m=2, expansion=32, seed=0)
+        suites = _suites()
+        result = run_experiment(model, CFG, suites)
+        trained_psnr = result.psnr("set5")
+
+        collapsed = model.collapse()
+        collapsed_metrics = evaluate_model(collapsed, suites["set5"])
+        assert collapsed_metrics["psnr"] == pytest.approx(trained_psnr, abs=0.01)
+
+        # The collapsed network deploys on the NPU model.
+        graph = graph_from_specs("trained", specs_from_module(collapsed), 270, 480)
+        report = estimate(graph, ETHOS_N78_4TOPS)
+        assert report.runtime_sec > 0 and report.total_macs > 0
+
+    def test_training_improves_over_init(self):
+        suites = _suites()
+        model = SESR(scale=2, f=8, m=2, expansion=32, seed=0)
+        before = evaluate_model(model, suites["set5"])["psnr"]
+        run_experiment(model, CFG, suites={})
+        after = evaluate_model(model, suites["set5"])["psnr"]
+        assert after > before + 1.0
+
+    def test_checkpoint_roundtrip_through_training(self, tmp_path):
+        model = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        run_experiment(model, ExperimentConfig(
+            epochs=1, train_images=2, train_size=(48, 48),
+            patch_size=12, crops_per_image=4, batch_size=4,
+        ))
+        path = os.path.join(tmp_path, "sesr.npz")
+        save_state(model, path)
+        clone = SESR(scale=2, f=8, m=1, expansion=16, seed=99)
+        load_state(clone, path)
+        x = np.random.default_rng(0).random((12, 12)).astype(np.float32)
+        np.testing.assert_allclose(
+            predict_image(model, x), predict_image(clone, x), atol=1e-6
+        )
+
+    def test_x2_to_x4_transfer(self):
+        """§5.1 protocol: ×4 training warm-starts from the ×2 trunk."""
+        x2 = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        run_experiment(x2, ExperimentConfig(
+            epochs=2, train_images=3, train_size=(48, 48),
+            patch_size=12, crops_per_image=4, batch_size=4, lr=2e-3,
+        ))
+        x4 = x2.convert_scale(4)
+        suite4 = SyntheticDataset("set5", n_images=2, size=(64, 64),
+                                  scale=4, seed=4)
+        fresh = SESR(scale=4, f=8, m=1, expansion=16, seed=50)
+        # Both run; the transfer model must produce valid outputs.
+        m_t = evaluate_model(x4, suite4)
+        m_f = evaluate_model(fresh, suite4)
+        assert m_t["psnr"] > 5 and m_f["psnr"] > 5
+
+
+class TestCrossModelComparison:
+    def test_sesr_and_fsrcnn_trainable_under_same_harness(self):
+        suites = _suites()
+        res_s = run_experiment(SESR(scale=2, f=8, m=2, expansion=32, seed=1),
+                               CFG, suites)
+        res_f = run_experiment(FSRCNN(scale=2, d=12, s=6, m=2, seed=1),
+                               CFG, suites)
+        # Both learn: final loss below initial.
+        for res in (res_s, res_f):
+            assert res.train.loss_history[-1] < res.train.loss_history[0]

@@ -1,0 +1,47 @@
+"""Examples sanity: every example script parses and exposes a main()."""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_parses_and_has_main(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    with open(path) as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=name)
+    # Module docstring with a "Run:" line (the examples contract).
+    doc = ast.get_docstring(tree)
+    assert doc and "Run:" in doc, f"{name} missing runnable docstring"
+    functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in functions, f"{name} has no main()"
+    # __main__ guard present.
+    assert "__main__" in source
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_resolve(name):
+    """All repro imports used by the example actually exist."""
+    path = os.path.join(EXAMPLES_DIR, name)
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=name)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                node.module.startswith("repro"):
+            module = __import__(node.module, fromlist=[a.name for a in node.names])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{name}: {node.module}.{alias.name} does not exist"
+                )

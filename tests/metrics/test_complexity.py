@@ -1,0 +1,125 @@
+"""Parameter/MAC accounting — the golden tests against Tables 1–2 columns."""
+
+import numpy as np
+import pytest
+
+from repro.core import FSRCNN, SESR
+from repro.metrics import (
+    LayerSpec,
+    count_macs,
+    count_params,
+    fsrcnn_specs,
+    macs_to_720p,
+    sesr_specs,
+    specs_from_module,
+    vdsr_specs,
+)
+
+
+class TestLayerSpec:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            LayerSpec("pool", (2, 2), 1, 1)
+
+    def test_conv_accounting(self):
+        spec = LayerSpec("conv", (3, 3), 16, 16, 1.0)
+        assert spec.weight_params() == 9 * 16 * 16
+        assert spec.macs(10, 20) == 9 * 16 * 16 * 200
+
+    def test_hr_layer_macs(self):
+        spec = LayerSpec("conv", (3, 3), 64, 64, 2.0)
+        assert spec.macs(10, 10) == 9 * 64 * 64 * 400
+
+    def test_non_compute_layers_free(self):
+        for kind in ("act", "add", "depth_to_space"):
+            spec = LayerSpec(kind, (1, 1), 4, 4, 1.0)
+            assert spec.weight_params() == 0
+            assert spec.macs(100, 100) == 0
+
+
+PAPER_TABLE = [
+    # (specs, scale, params_K, macs_720p_G)   — Tables 1 and 2
+    (sesr_specs(16, 3, 2), 2, 8.91, 2.05),
+    (sesr_specs(16, 5, 2), 2, 13.52, 3.11),
+    (sesr_specs(16, 7, 2), 2, 18.12, 4.17),
+    (sesr_specs(16, 11, 2), 2, 27.34, 6.30),
+    (sesr_specs(32, 11, 2), 2, 105.37, 24.27),
+    (sesr_specs(16, 3, 4), 4, 13.71, 0.79),
+    (sesr_specs(16, 5, 4), 4, 18.32, 1.05),
+    (sesr_specs(16, 7, 4), 4, 22.92, 1.32),
+    (sesr_specs(16, 11, 4), 4, 32.14, 1.85),
+    (sesr_specs(32, 11, 4), 4, 114.97, 6.62),
+    (fsrcnn_specs(2), 2, 12.46, 6.00),
+    (fsrcnn_specs(4), 4, 12.46, 4.63),
+    (vdsr_specs(2), 2, 664.7, 612.6),
+]
+
+
+class TestPaperColumns:
+    @pytest.mark.parametrize("specs,scale,params_k,_", PAPER_TABLE)
+    def test_parameters_match_paper(self, specs, scale, params_k, _):
+        assert count_params(specs) == pytest.approx(params_k * 1e3, rel=0.005)
+
+    @pytest.mark.parametrize("specs,scale,_,macs_g", PAPER_TABLE)
+    def test_macs_match_paper(self, specs, scale, _, macs_g):
+        assert macs_to_720p(specs, scale) == pytest.approx(macs_g * 1e9, rel=0.01)
+
+    def test_table3_macs_at_1080p(self):
+        """Table 3 MAC column: 54G / 28G / 38G at 1920×1080 input."""
+        assert count_macs(fsrcnn_specs(2), 1080, 1920) == pytest.approx(54e9, rel=0.01)
+        hw_x2 = sesr_specs(16, 5, 2, input_residual=False, activation="relu")
+        assert count_macs(hw_x2, 1080, 1920) == pytest.approx(28e9, rel=0.01)
+        hw_x4 = sesr_specs(16, 5, 4, input_residual=False, activation="relu")
+        assert count_macs(hw_x4, 1080, 1920) == pytest.approx(38e9, rel=0.01)
+
+    def test_tiled_macs(self):
+        """Table 3 tiled rows: 1.62G (×2) and 2.19G (×4) for 400×300."""
+        hw_x2 = sesr_specs(16, 5, 2, input_residual=False, activation="relu")
+        assert count_macs(hw_x2, 300, 400) == pytest.approx(1.62e9, rel=0.01)
+        hw_x4 = sesr_specs(16, 5, 4, input_residual=False, activation="relu")
+        assert count_macs(hw_x4, 300, 400) == pytest.approx(2.19e9, rel=0.01)
+
+
+class TestSpecsFromModule:
+    def test_sesr_roundtrip(self):
+        model = SESR.from_name("M5", scale=2)
+        specs = specs_from_module(model)
+        assert count_params(specs) == model.collapsed_num_parameters()
+
+    def test_collapsed_sesr(self):
+        model = SESR(scale=2, f=8, m=2, expansion=16)
+        specs = specs_from_module(model.collapse())
+        assert count_params(specs) == model.collapsed_num_parameters()
+
+    def test_fsrcnn(self):
+        model = FSRCNN(scale=2)
+        specs = specs_from_module(model)
+        assert count_params(specs) == model.conv_num_parameters()
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeError):
+            specs_from_module(object())
+
+
+class TestStructuralProperties:
+    def test_sesr_spec_counts(self):
+        specs = sesr_specs(16, 5, 2)
+        convs = [s for s in specs if s.kind == "conv"]
+        assert len(convs) == 5 + 2  # m + first + last
+        adds = [s for s in specs if s.kind == "add"]
+        assert len(adds) == 2  # blue + black long residuals
+
+    def test_hw_variant_drops_black_residual(self):
+        specs = sesr_specs(16, 5, 2, input_residual=False)
+        adds = [s for s in specs if s.kind == "add"]
+        assert len(adds) == 1
+
+    def test_x4_has_two_d2s_steps(self):
+        specs = sesr_specs(16, 5, 4)
+        d2s = [s for s in specs if s.kind == "depth_to_space"]
+        assert len(d2s) == 2
+        assert d2s[0].res_scale == 2.0 and d2s[1].res_scale == 4.0
+
+    def test_vdsr_runs_at_hr(self):
+        specs = vdsr_specs(2)
+        assert all(s.res_scale == 2.0 for s in specs if s.kind == "conv")

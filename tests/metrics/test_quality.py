@@ -1,0 +1,102 @@
+"""PSNR and SSIM metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import gaussian_window, psnr, shave, ssim
+
+
+class TestShave:
+    def test_removes_border(self, rng):
+        img = rng.random((10, 12, 1))
+        assert shave(img, 2).shape == (6, 8, 1)
+
+    def test_zero_border_noop(self, rng):
+        img = rng.random((4, 4))
+        assert shave(img, 0) is img
+
+    def test_too_small_raises(self, rng):
+        with pytest.raises(ValueError):
+            shave(rng.random((4, 4)), 2)
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, rng):
+        img = rng.random((16, 16))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)  # MSE = 0.01 -> PSNR = 20 dB
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_border_shaving_changes_score(self, rng):
+        a = rng.random((16, 16))
+        b = a.copy()
+        b[0, 0] = 1.0 - b[0, 0]  # corrupt only the border
+        assert psnr(a, b, border=2) == float("inf")
+        assert psnr(a, b, border=0) < float("inf")
+
+    def test_pred_clipped_to_range(self):
+        a = np.full((8, 8), 1.5)  # out of range prediction
+        b = np.ones((8, 8))
+        assert psnr(a, b) == float("inf")  # clipped to 1.0 == target
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            psnr(rng.random((4, 4)), rng.random((4, 5)))
+
+    @given(st.integers(0, 2**31 - 1), st.floats(0.01, 0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_noise(self, seed, sigma):
+        rng = np.random.default_rng(seed)
+        img = rng.random((24, 24)) * 0.5 + 0.25
+        small = np.clip(img + rng.normal(0, sigma / 3, img.shape), 0, 1)
+        large = np.clip(img + rng.normal(0, sigma, img.shape), 0, 1)
+        assert psnr(small, img) > psnr(large, img)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        img = rng.random((24, 24))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        img = rng.random((32, 32))
+        noisy = np.clip(img + rng.normal(0, 0.2, img.shape), 0, 1)
+        s = ssim(noisy, img)
+        assert 0.0 < s < 0.99
+
+    def test_constant_shift_high_but_not_one(self):
+        ys, xs = np.mgrid[0:32, 0:32] / 32.0
+        img = 0.4 + 0.2 * np.sin(4 * ys) * np.cos(3 * xs)
+        shifted = img + 0.05
+        assert 0.7 < ssim(shifted, img) < 1.0
+
+    def test_channel_squeeze(self, rng):
+        img = rng.random((24, 24, 1))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_multichannel_raises(self, rng):
+        with pytest.raises(ValueError):
+            ssim(rng.random((24, 24, 3)), rng.random((24, 24, 3)))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ssim(rng.random((24, 24)), rng.random((24, 25)))
+
+    def test_gaussian_window_normalised(self):
+        w = gaussian_window(11, 1.5)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.argmax() == 5  # symmetric, peak at centre
+        np.testing.assert_allclose(w, w[::-1])
+
+    def test_ssim_ranks_blur_vs_noise_consistently(self, rng):
+        """Structural metric sanity: SSIM orders degradations plausibly."""
+        ys, xs = np.mgrid[0:48, 0:48] / 48.0
+        img = 0.5 + 0.25 * np.sin(8 * ys) + 0.15 * np.cos(6 * xs)
+        light = np.clip(img + rng.normal(0, 0.02, img.shape), 0, 1)
+        heavy = np.clip(img + rng.normal(0, 0.15, img.shape), 0, 1)
+        assert ssim(light, img) > ssim(heavy, img)

@@ -1,0 +1,133 @@
+"""Tests for suite statistics and edge-fidelity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    edge_psnr,
+    gms,
+    gradient_magnitude,
+    paired_bootstrap,
+    paired_difference,
+    per_image_scores,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.n == 4
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_shrinks_with_n(self, rng):
+        small = summarize(rng.normal(30, 1, 10))
+        large = summarize(rng.normal(30, 1, 1000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+
+class TestPairedTests:
+    def test_clear_winner(self):
+        a = [30.0, 31.0, 32.0, 30.5]
+        b = [x - 1.0 for x in a]
+        assert paired_bootstrap(a, b) > 0.95
+        assert paired_bootstrap(b, a) < 0.05
+
+    def test_tie_near_half(self, rng):
+        a = rng.normal(30, 1, 200)
+        b = a + rng.normal(0, 0.001, 200)
+        p = paired_bootstrap(a, b, seed=1)
+        assert 0.1 < p < 0.9
+
+    def test_paired_difference(self):
+        d = paired_difference([31.0, 32.0], [30.0, 30.0])
+        assert d.mean == pytest.approx(1.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_difference([1.0], [1.0, 2.0])
+
+    def test_deterministic_given_seed(self, rng):
+        a, b = rng.normal(30, 1, 50), rng.normal(30, 1, 50)
+        assert paired_bootstrap(a, b, seed=7) == paired_bootstrap(a, b, seed=7)
+
+    def test_per_image_scores(self):
+        from repro.core import SESR
+        from repro.datasets import SyntheticDataset
+
+        ds = SyntheticDataset("set5", n_images=3, size=(48, 48), scale=2, seed=2)
+        scores = per_image_scores(SESR(scale=2, f=8, m=1, expansion=16), ds)
+        assert scores.shape == (3,)
+        assert np.all(scores > 0)
+
+
+class TestEdgeMetrics:
+    def _edge_image(self):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0  # a vertical step edge
+        return img
+
+    def test_gradient_magnitude_peaks_at_edge(self):
+        mag = gradient_magnitude(self._edge_image())
+        assert mag[:, 15:17].mean() > 10 * mag[:, :8].mean()
+
+    def test_gradient_magnitude_zero_on_constant(self):
+        np.testing.assert_allclose(gradient_magnitude(np.ones((8, 8))), 0.0)
+
+    def test_gms_identity_is_one(self, rng):
+        img = rng.random((24, 24))
+        assert gms(img, img) == pytest.approx(1.0)
+
+    def test_gms_blur_hurts(self):
+        from repro.datasets import bicubic_downscale, bicubic_upscale
+
+        img = self._edge_image() + 0.1 * np.sin(
+            np.linspace(0, 20, 32)
+        )[None, :]
+        blurred = bicubic_upscale(bicubic_downscale(img, 2), 2)
+        assert gms(np.clip(blurred, 0, 1), img) < 0.999
+
+    def test_gms_bounded(self, rng):
+        a, b = rng.random((16, 16)), rng.random((16, 16))
+        assert 0.0 <= gms(a, b) <= 1.0
+
+    def test_edge_psnr_targets_edges(self):
+        img = self._edge_image()
+        # Corrupt only flat regions: edge-PSNR stays infinite-ish while
+        # full-image difference exists.
+        corrupted = img.copy()
+        corrupted[:, :4] += 0.05
+        assert edge_psnr(corrupted, img) == float("inf")
+        # Corrupt the edge itself: edge-PSNR drops hard.
+        halo = img.copy()
+        halo[:, 15] += 0.2  # overshoot on the dark side of the edge
+        halo[:, 16] -= 0.2  # undershoot on the bright side
+        assert edge_psnr(np.clip(halo, 0, 1), img) < 30
+
+    def test_edge_psnr_validation(self, rng):
+        with pytest.raises(ValueError):
+            edge_psnr(rng.random((8, 8)), rng.random((8, 9)))
+
+    def test_gradient_magnitude_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            gradient_magnitude(rng.random((4, 4, 3)))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_gms_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((12, 12)), rng.random((12, 12))
+        assert gms(a, b) == pytest.approx(gms(b, a), rel=1e-9)

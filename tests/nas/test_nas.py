@@ -1,0 +1,201 @@
+"""NAS tests: search space, supernet mechanics, and the DNAS loop (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PatchSampler, SyntheticDataset
+from repro.hw import ETHOS_N78_4TOPS
+from repro.nas import (
+    KERNEL_CHOICES,
+    SKIP,
+    DNASConfig,
+    Genotype,
+    MixedBlock,
+    NasSESR,
+    SESRSupernet,
+    genotype_latency_ms,
+    is_residual_capable,
+    latency_table,
+    op_latency_ms,
+    realize,
+    search,
+    sesr_m_genotype,
+)
+from repro.nn import Tensor, no_grad
+
+
+def small_genotype(**kwargs):
+    defaults = dict(
+        scale=2, f=8, first_kernel=(5, 5),
+        block_kernels=((3, 3), (2, 2), SKIP, (3, 2)),
+        last_kernel=(3, 3),
+    )
+    defaults.update(kwargs)
+    return Genotype(**defaults)
+
+
+class TestSearchSpace:
+    def test_residual_capability(self):
+        assert is_residual_capable((3, 3))
+        assert is_residual_capable((5, 5))
+        assert not is_residual_capable((2, 2))
+        assert not is_residual_capable((3, 2))
+        assert not is_residual_capable(SKIP)
+
+    def test_genotype_active_blocks(self):
+        g = small_genotype()
+        assert len(g.active_blocks) == 3  # one SKIP removed
+
+    def test_genotype_specs_and_params(self):
+        g = small_genotype()
+        specs = g.specs()
+        convs = [s for s in specs if s.kind == "conv"]
+        assert len(convs) == 3 + 2
+        # first 5×5: 25·1·8, blocks: 9·64 + 4·64 + 6·64, last 3×3: 9·8·4
+        expected = 25 * 8 + (9 + 4 + 6) * 64 + 9 * 8 * 4
+        assert g.num_parameters() == expected
+
+    def test_describe(self):
+        text = small_genotype().describe()
+        assert "skip" in text and "2x2" in text and "first=5x5" in text
+
+    def test_sesr_m_genotype_matches_paper_params(self):
+        g = sesr_m_genotype(5, f=16, scale=2)
+        assert g.num_parameters() == 13520  # SESR-M5
+
+
+class TestNasSESR:
+    def test_shapes_with_mixed_kernels(self, rng):
+        model = NasSESR(small_genotype(), expansion=16, seed=2)
+        x = Tensor(rng.standard_normal((1, 8, 10, 1)).astype(np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 16, 20, 1)
+
+    def test_residuals_only_on_odd_kernels(self):
+        model = NasSESR(small_genotype(), expansion=16)
+        residual_flags = [blk.residual for blk in model.blocks]
+        assert residual_flags == [True, False, False]  # 3×3, 2×2, 3×2
+
+    def test_scale4(self, rng):
+        g = small_genotype(scale=4)
+        model = NasSESR(g, expansion=16)
+        x = Tensor(rng.standard_normal((1, 6, 6, 1)).astype(np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 24, 24, 1)
+
+
+class TestMixedBlock:
+    def test_soft_forward_is_convex_combination(self, rng):
+        blk = MixedBlock(4, 4, ((3, 3), SKIP), expansion=8,
+                         rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((1, 5, 5, 4)).astype(np.float32))
+        with no_grad():
+            mixed = blk(x, temperature=1.0).data
+            op_out = blk.ops[0](x).data
+        w = blk.choice_probs()
+        np.testing.assert_allclose(
+            mixed, w[0] * op_out + w[1] * x.data, atol=1e-5
+        )
+
+    def test_skip_needs_matching_channels(self):
+        with pytest.raises(ValueError, match="skip"):
+            MixedBlock(2, 4, ((3, 3), SKIP), expansion=8)
+
+    def test_probs_sum_to_one(self):
+        blk = MixedBlock(4, 4, KERNEL_CHOICES, expansion=8)
+        assert blk.choice_probs().sum() == pytest.approx(1.0)
+
+    def test_best_choice_follows_alpha(self):
+        blk = MixedBlock(4, 4, ((3, 3), (2, 2)), expansion=8)
+        blk.alpha.data[:] = [0.0, 5.0]
+        assert blk.best_choice() == (2, 2)
+
+
+class TestLatencyModel:
+    def test_skip_is_free(self):
+        assert op_latency_ms(SKIP, 8, 8, ETHOS_N78_4TOPS, 100, 100) == 0.0
+
+    def test_smaller_kernels_are_faster(self):
+        args = (16, 16, ETHOS_N78_4TOPS, 200, 200)
+        l33 = op_latency_ms((3, 3), *args)
+        l22 = op_latency_ms((2, 2), *args)
+        l21 = op_latency_ms((2, 1), *args)
+        assert l21 < l22 < l33
+
+    def test_latency_table_shapes(self):
+        net = SESRSupernet(scale=2, f=8, slots=2, expansion=8)
+        tables = latency_table(net, ETHOS_N78_4TOPS, 100, 100)
+        assert len(tables) == 4  # first + 2 slots + last
+        assert all(len(t) == len(b.choices)
+                   for t, b in zip(tables, net.mixed_blocks()))
+
+    def test_genotype_latency_orders_by_size(self):
+        small = small_genotype()
+        big = sesr_m_genotype(5, f=8)
+        assert genotype_latency_ms(small, ETHOS_N78_4TOPS, 200, 200) < \
+            genotype_latency_ms(big, ETHOS_N78_4TOPS, 200, 200)
+
+
+class TestDNAS:
+    def _sampler(self):
+        ds = SyntheticDataset("div2k", n_images=3, size=(48, 48), scale=2, seed=5)
+        return PatchSampler(ds, scale=2, patch_size=10, crops_per_image=4,
+                            batch_size=3, seed=6)
+
+    def test_search_runs_and_derives(self):
+        net = SESRSupernet(scale=2, f=8, slots=2, expansion=8, seed=1)
+        cfg = DNASConfig(steps=6, latency_res=(50, 50))
+        result = search(net, self._sampler(), cfg)
+        assert len(result.loss_history) == 6
+        assert len(result.probs) == 4
+        assert result.genotype.scale == 2
+        model = realize(result.genotype, expansion=8)
+        x = Tensor(np.zeros((1, 8, 8, 1), dtype=np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 16, 16, 1)
+
+    def test_latency_pressure_shrinks_architecture(self):
+        """With a crushing latency penalty, the search prefers cheap ops."""
+        def run(lam):
+            net = SESRSupernet(scale=2, f=8, slots=3, expansion=8, seed=3)
+            cfg = DNASConfig(steps=25, latency_weight=lam, latency_res=(100, 100))
+            res = search(net, self._sampler(), cfg)
+            return genotype_latency_ms(res.genotype, ETHOS_N78_4TOPS, 200, 200)
+
+        assert run(5.0) <= run(0.0)
+
+    def test_arch_and_weight_params_disjoint(self):
+        net = SESRSupernet(scale=2, f=8, slots=2, expansion=8)
+        arch = {id(p) for p in net.arch_parameters()}
+        weights = {id(p) for p in net.weight_parameters()}
+        assert not arch & weights
+        assert len(arch) + len(weights) == len(net.parameters())
+
+
+class TestNasCollapse:
+    def test_searched_net_collapses_exactly(self, rng):
+        from repro.nas.space import Genotype
+
+        g = Genotype(scale=2, f=8, first_kernel=(3, 3),
+                     block_kernels=((3, 3), (2, 2)), last_kernel=(3, 3))
+        model = NasSESR(g, expansion=16, seed=4)
+        collapsed = model.collapse()
+        x = Tensor(rng.random((1, 9, 7, 1)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(
+                model(x).data, collapsed(x).data, atol=1e-5
+            )
+
+    def test_collapsed_searched_net_deploys(self):
+        """The searched net flows through the same deployment path."""
+        from repro.deploy import tiled_upscale
+        from repro.nas.space import Genotype
+        from repro.train import predict_image
+
+        g = Genotype(scale=2, f=8, first_kernel=(3, 3),
+                     block_kernels=((3, 3),), last_kernel=(3, 3))
+        collapsed = NasSESR(g, expansion=16, seed=1).collapse()
+        img = np.random.default_rng(0).random((20, 24)).astype(np.float32)
+        full = predict_image(collapsed, img)
+        tiled = tiled_upscale(collapsed, img, 2, tile=(10, 10), halo=4)
+        np.testing.assert_allclose(tiled, full, atol=1e-6)

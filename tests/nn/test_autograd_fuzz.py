@@ -1,0 +1,92 @@
+"""Autograd fuzzer: random op graphs checked against numerical gradients.
+
+The targeted tests in ``test_tensor_autograd.py`` cover each primitive in
+isolation; this fuzzer composes them randomly (including tensor reuse and
+branching) and validates the full reverse sweep against central
+differences — the strongest general correctness guarantee we can give for
+the substrate every experiment stands on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from tests.conftest import numerical_gradient
+
+# Unary ops safe on arbitrary finite inputs (smooth away from measure-zero
+# kink sets; inputs are nudged off the kinks below).
+UNARY = [
+    lambda t: t * 2.5,
+    lambda t: t + 1.0,
+    lambda t: -t,
+    lambda t: t.exp(),
+    lambda t: (t * t + 1.0).log(),
+    lambda t: t.maximum(0.1),
+    lambda t: t.minimum(0.9),
+    lambda t: t.clip(-2.0, 2.0),
+    lambda t: t.abs(),
+    lambda t: t.reshape(t.size),
+    lambda t: t.flip(0),
+    lambda t: t ** 2,
+]
+
+BINARY = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a * b,
+    lambda a, b: a / (b * b + 1.0),
+    lambda a, b: a.maximum(b),
+    lambda a, b: a.minimum(b),
+]
+
+
+def build_random_graph(x: Tensor, rng: np.random.Generator) -> Tensor:
+    """Apply 4–8 random ops; keep a pool so values get reused (branching)."""
+    pool = [x]
+    for _ in range(int(rng.integers(4, 9))):
+        if rng.random() < 0.5 or len(pool) < 2:
+            op = UNARY[int(rng.integers(len(UNARY)))]
+            src = pool[int(rng.integers(len(pool)))]
+            pool.append(op(src))
+        else:
+            op = BINARY[int(rng.integers(len(BINARY)))]
+            a = pool[int(rng.integers(len(pool)))]
+            b = pool[int(rng.integers(len(pool)))]
+            if a.shape != b.shape:
+                a = a.reshape(a.size)
+                b = b.reshape(b.size)
+            pool.append(op(a, b))
+    out = pool[-1]
+    for extra in pool[:-1]:
+        if extra.shape == out.shape and bool(rng.random() < 0.3):
+            out = out + extra
+    return (out * out).sum()
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_random_graphs_match_numerical_gradient(seed):
+    rng = np.random.default_rng(seed)
+    shape = tuple(rng.integers(2, 4, size=int(rng.integers(1, 3))))
+    # Keep inputs in a range where exp/log/clip stay smooth and away from
+    # kinks of abs/min/max (measure-zero, but finite differences hate them).
+    x = rng.uniform(0.15, 0.85, size=shape)
+    x += rng.normal(0, 0.01, size=shape)
+
+    t = Tensor(x, requires_grad=True, dtype=np.float64)
+    graph_rng = np.random.default_rng(seed + 1)
+    loss = build_random_graph(t, graph_rng)
+    if not np.isfinite(loss.data).all() or abs(float(loss.data)) > 1e8:
+        return  # pathological composition (e.g. exp stacking); skip
+    loss.backward()
+    assert t.grad is not None
+
+    def f():
+        replay_rng = np.random.default_rng(seed + 1)
+        return float(build_random_graph(Tensor(x, dtype=np.float64),
+                                        replay_rng).data)
+
+    num = numerical_gradient(f, x, eps=1e-6)
+    scale = max(np.abs(num).max(), 1.0)
+    np.testing.assert_allclose(t.grad, num, atol=2e-4 * scale, rtol=2e-4)

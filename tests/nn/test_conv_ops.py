@@ -1,0 +1,326 @@
+"""Convolution / NN-op tests: gradcheck across strides, paddings, and kernel
+shapes (incl. the NAS section's even and asymmetric kernels); TF-semantics
+checks for depth-to-space and transposed convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    compose_bias_1x1,
+    compose_conv_1x1,
+    conv2d,
+    conv2d_transpose,
+    depth_to_space,
+    dilate,
+    no_grad,
+    prelu,
+    relu,
+    resolve_padding,
+    sigmoid,
+    softmax,
+    space_to_depth,
+)
+from tests.conftest import check_gradient
+
+
+def _conv_ref(x, w, stride, pads):
+    """Naive direct convolution as a reference implementation."""
+    (pt, pb), (pl, pr) = pads
+    x = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    n, h, wd, cin = x.shape
+    kh, kw, _, cout = w.shape
+    sh, sw = stride
+    ho, wo = (h - kh) // sh + 1, (wd - kw) // sw + 1
+    out = np.zeros((n, ho, wo, cout))
+    for b in range(n):
+        for i in range(ho):
+            for j in range(wo):
+                patch = x[b, i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+                for o in range(cout):
+                    out[b, i, j, o] = np.sum(patch * w[:, :, :, o])
+    return out
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("kernel", [(1, 1), (3, 3), (5, 5), (2, 2), (3, 2), (2, 1)])
+    @pytest.mark.parametrize("stride", [(1, 1), (2, 2), (2, 1)])
+    def test_matches_naive_reference(self, rng, kernel, stride):
+        x = rng.standard_normal((2, 7, 6, 3))
+        w = rng.standard_normal((*kernel, 3, 4))
+        pads = resolve_padding(kernel, stride, "same", in_size=(7, 6))
+        got = conv2d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64),
+                     stride=stride, padding="same").data
+        want = _conv_ref(x, w, stride, pads)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_valid_padding_shape(self, rng):
+        x = Tensor(rng.standard_normal((1, 8, 9, 2)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 3, 2, 5)).astype(np.float32))
+        assert conv2d(x, w, padding="valid").shape == (1, 6, 7, 5)
+
+    def test_same_padding_preserves_shape(self, rng):
+        x = Tensor(rng.standard_normal((1, 8, 9, 2)).astype(np.float32))
+        for k in [(3, 3), (5, 5), (2, 2), (3, 2)]:
+            w = Tensor(rng.standard_normal((*k, 2, 4)).astype(np.float32))
+            assert conv2d(x, w, padding="same").shape == (1, 8, 9, 4)
+
+    def test_explicit_int_padding(self, rng):
+        x = Tensor(rng.standard_normal((1, 5, 5, 1)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 3, 1, 1)).astype(np.float32))
+        assert conv2d(x, w, padding=2).shape == (1, 7, 7, 1)
+
+    def test_bias_added(self, rng):
+        x = Tensor(np.zeros((1, 4, 4, 2), dtype=np.float32))
+        w = Tensor(np.zeros((3, 3, 2, 3), dtype=np.float32))
+        b = Tensor(np.array([1.0, -2.0, 0.5], dtype=np.float32))
+        out = conv2d(x, w, b).data
+        np.testing.assert_allclose(out[0, 0, 0], [1.0, -2.0, 0.5])
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(np.zeros((1, 4, 4, 2), dtype=np.float32))
+        w = Tensor(np.zeros((3, 3, 3, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="channels"):
+            conv2d(x, w)
+
+    def test_rank_checks(self):
+        with pytest.raises(ValueError, match="NHWC"):
+            conv2d(Tensor(np.zeros((4, 4, 2))), Tensor(np.zeros((3, 3, 2, 1))))
+        with pytest.raises(ValueError, match="HWIO"):
+            conv2d(Tensor(np.zeros((1, 4, 4, 2))), Tensor(np.zeros((3, 3, 2))))
+
+
+class TestConv2dGradients:
+    @pytest.mark.parametrize("stride,padding", [
+        (1, "same"), (1, "valid"), (2, "same"), ((2, 1), "same"),
+    ])
+    def test_gradcheck(self, rng, stride, padding):
+        x = rng.standard_normal((2, 6, 5, 2))
+        w = rng.standard_normal((3, 3, 2, 3))
+        b = rng.standard_normal(3)
+        check_gradient(
+            lambda xt, wt, bt: (
+                conv2d(xt, wt, bt, stride=stride, padding=padding) ** 2
+            ).sum(),
+            [x, w, b],
+        )
+
+    def test_gradcheck_asymmetric_kernel(self, rng):
+        x = rng.standard_normal((1, 5, 6, 2))
+        w = rng.standard_normal((2, 3, 2, 2))
+        check_gradient(
+            lambda xt, wt: (conv2d(xt, wt, padding="same") ** 2).sum(), [x, w]
+        )
+
+
+class TestConvTranspose:
+    @pytest.mark.parametrize("stride,k", [(2, 9), (4, 9), (2, 4), (3, 5)])
+    def test_output_geometry(self, rng, stride, k):
+        x = Tensor(rng.standard_normal((1, 5, 4, 3)).astype(np.float32))
+        w = Tensor(rng.standard_normal((k, k, 3, 2)).astype(np.float32))
+        out = conv2d_transpose(x, w, stride=stride)
+        assert out.shape == (1, 5 * stride, 4 * stride, 2)
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((1, 3, 4, 2))
+        w = rng.standard_normal((4, 4, 2, 1))
+        b = rng.standard_normal(1)
+        check_gradient(
+            lambda xt, wt, bt: (conv2d_transpose(xt, wt, bt, stride=2) ** 2).sum(),
+            [x, w, b],
+        )
+
+    def test_adjoint_of_strided_conv(self, rng):
+        """⟨conv(x), y⟩ == ⟨x, convᵀ(y)⟩ with matched geometry + flipped weights."""
+        x = rng.standard_normal((1, 8, 8, 2))
+        w = rng.standard_normal((4, 4, 2, 3))
+        y = rng.standard_normal((1, 4, 4, 3))
+        with no_grad():
+            cx = conv2d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64),
+                        stride=2, padding="same").data
+            # convᵀ flips spatially internally, so the adjoint weight is the
+            # channel-transposed (not pre-flipped) forward weight.
+            wt = w.transpose(0, 1, 3, 2)
+            cty = conv2d_transpose(Tensor(y, dtype=np.float64),
+                                   Tensor(wt, dtype=np.float64), stride=2).data
+        np.testing.assert_allclose(np.sum(cx * y), np.sum(x * cty), rtol=1e-10)
+
+    def test_kernel_smaller_than_stride_raises(self, rng):
+        x = Tensor(np.zeros((1, 3, 3, 1), dtype=np.float32))
+        w = Tensor(np.zeros((2, 2, 1, 1), dtype=np.float32))
+        with pytest.raises(ValueError):
+            conv2d_transpose(x, w, stride=3)
+
+
+class TestDepthToSpace:
+    def test_tf_channel_ordering(self):
+        # input 1x1x1x4, block 2: channel (i*r + j) lands at offset (i, j).
+        x = Tensor(np.arange(4, dtype=np.float32).reshape(1, 1, 1, 4))
+        out = depth_to_space(x, 2).data
+        np.testing.assert_allclose(out[0, :, :, 0], [[0, 1], [2, 3]])
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 5, 18)).astype(np.float32)
+        y = space_to_depth(depth_to_space(Tensor(x), 3), 3)
+        np.testing.assert_allclose(y.data, x)
+
+    def test_double_2x_equals_reordered_4x_content(self, rng):
+        # Applying d2s(2) twice gives the same *set* of pixels as d2s(4);
+        # value multiset must match even though orderings differ.
+        x = rng.standard_normal((1, 2, 2, 16)).astype(np.float32)
+        twice = depth_to_space(depth_to_space(Tensor(x), 2), 2).data
+        once = depth_to_space(Tensor(x), 4).data
+        assert twice.shape == once.shape == (1, 8, 8, 1)
+        np.testing.assert_allclose(np.sort(twice.ravel()), np.sort(once.ravel()))
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((1, 2, 3, 8))
+        check_gradient(lambda xt: (depth_to_space(xt, 2) ** 2).sum(), [x])
+
+    def test_invalid_channels_raises(self):
+        with pytest.raises(ValueError):
+            depth_to_space(Tensor(np.zeros((1, 2, 2, 3), dtype=np.float32)), 2)
+        with pytest.raises(ValueError):
+            space_to_depth(Tensor(np.zeros((1, 3, 3, 1), dtype=np.float32)), 2)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_prelu_values(self):
+        x = Tensor(np.array([[[[-2.0, 4.0]]]], dtype=np.float32))
+        alpha = Tensor(np.array([0.5, 0.5], dtype=np.float32))
+        np.testing.assert_allclose(prelu(x, alpha).data, [[[[-1.0, 4.0]]]])
+
+    def test_prelu_gradcheck(self, rng):
+        x = rng.standard_normal((2, 3, 3, 2)) + 0.1
+        alpha = rng.uniform(0.1, 0.5, size=2)
+        check_gradient(lambda xt, at: (prelu(xt, at) ** 2).sum(), [x, alpha])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = Tensor(rng.standard_normal((100,)).astype(np.float64) * 10)
+        s = sigmoid(x).data
+        assert np.all(s > 0) and np.all(s < 1)
+        np.testing.assert_allclose(
+            sigmoid(Tensor(np.zeros(1))).data, [0.5], atol=1e-7
+        )
+
+    def test_softmax_properties(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)).astype(np.float64))
+        s = softmax(x, axis=1).data
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(4), atol=1e-12)
+        # shift invariance
+        s2 = softmax(Tensor(x.data + 100.0), axis=1).data
+        np.testing.assert_allclose(s, s2, atol=1e-12)
+
+    def test_softmax_gradcheck(self, rng):
+        x = rng.standard_normal((3, 4))
+        check_gradient(lambda xt: (softmax(xt, axis=1) ** 2).sum(), [x])
+
+
+class TestDilate:
+    def test_values(self):
+        x = Tensor(np.arange(4, dtype=np.float32).reshape(1, 2, 2, 1) + 1)
+        out = dilate(x, 2).data[0, :, :, 0]
+        expected = np.array([[1, 0, 2], [0, 0, 0], [3, 0, 4]], dtype=np.float32)
+        np.testing.assert_allclose(out, expected)
+
+    def test_identity_when_stride_one(self):
+        x = Tensor(np.ones((1, 2, 2, 1), dtype=np.float32))
+        assert dilate(x, 1) is x
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((1, 3, 2, 2))
+        check_gradient(lambda xt: (dilate(xt, (2, 3)) ** 2).sum(), [x])
+
+
+class TestWeightComposition:
+    def test_compose_equals_sequential_conv(self, rng):
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float64)
+        w1 = rng.standard_normal((3, 3, 3, 10)).astype(np.float64)
+        w2 = rng.standard_normal((1, 1, 10, 4)).astype(np.float64)
+        with no_grad():
+            seq = conv2d(conv2d(Tensor(x), Tensor(w1), padding="same"),
+                         Tensor(w2), padding="same").data
+            fused = conv2d(Tensor(x),
+                           compose_conv_1x1(Tensor(w1), Tensor(w2)),
+                           padding="same").data
+        np.testing.assert_allclose(seq, fused, atol=1e-12)
+
+    def test_compose_bias_equals_sequential(self, rng):
+        x = rng.standard_normal((1, 5, 5, 2)).astype(np.float64)
+        w1 = rng.standard_normal((3, 3, 2, 8)).astype(np.float64)
+        b1 = rng.standard_normal(8).astype(np.float64)
+        w2 = rng.standard_normal((1, 1, 8, 3)).astype(np.float64)
+        b2 = rng.standard_normal(3).astype(np.float64)
+        with no_grad():
+            seq = conv2d(conv2d(Tensor(x), Tensor(w1), Tensor(b1), padding="same"),
+                         Tensor(w2), Tensor(b2), padding="same").data
+            wf = compose_conv_1x1(Tensor(w1), Tensor(w2))
+            bf = compose_bias_1x1(Tensor(b1), Tensor(w2), Tensor(b2))
+            fused = conv2d(Tensor(x), wf, bf, padding="same").data
+        np.testing.assert_allclose(seq, fused, atol=1e-12)
+
+    def test_compose_gradcheck(self, rng):
+        w1 = rng.standard_normal((3, 3, 2, 6))
+        w2 = rng.standard_normal((1, 1, 6, 2))
+        check_gradient(
+            lambda a, b: (compose_conv_1x1(a, b) ** 2).sum(), [w1, w2]
+        )
+
+    def test_compose_shape_validation(self, rng):
+        w1 = Tensor(np.zeros((3, 3, 2, 6), dtype=np.float32))
+        with pytest.raises(ValueError, match="1×1"):
+            compose_conv_1x1(w1, Tensor(np.zeros((3, 3, 6, 2), dtype=np.float32)))
+        with pytest.raises(ValueError, match="mismatch"):
+            compose_conv_1x1(w1, Tensor(np.zeros((1, 1, 5, 2), dtype=np.float32)))
+
+
+class TestResolvePadding:
+    def test_same_odd(self):
+        assert resolve_padding((3, 3), (1, 1), "same") == ((1, 1), (1, 1))
+        assert resolve_padding((5, 5), (1, 1), "same") == ((2, 2), (2, 2))
+
+    def test_same_even_asymmetric(self):
+        assert resolve_padding((2, 2), (1, 1), "same") == ((0, 1), (0, 1))
+        assert resolve_padding((3, 2), (1, 1), "same") == ((1, 1), (0, 1))
+
+    def test_valid(self):
+        assert resolve_padding((5, 5), (1, 1), "valid") == ((0, 0), (0, 0))
+
+    def test_explicit(self):
+        assert resolve_padding((3, 3), (1, 1), 2) == ((2, 2), (2, 2))
+        assert resolve_padding((3, 3), (1, 1), ((1, 0), (2, 1))) == ((1, 0), (2, 1))
+
+
+class TestConvTransposeFastVsReference:
+    """The sub-pixel fast path must match the naive zero-insertion form."""
+
+    @pytest.mark.parametrize("k,s", [(9, 2), (9, 4), (4, 2), (6, 3), (3, 3)])
+    def test_forward_and_gradients_match(self, rng, k, s):
+        from repro.nn import conv2d_transpose_reference
+
+        x = rng.standard_normal((2, 4, 5, 3))
+        w = rng.standard_normal((k, k, 3, 2))
+        b = rng.standard_normal(2)
+
+        def run(fn):
+            xt = Tensor(x, requires_grad=True)
+            wt = Tensor(w, requires_grad=True)
+            bt = Tensor(b, requires_grad=True)
+            y = fn(xt, wt, bt, stride=s)
+            (y * y).sum().backward()
+            return y.data, xt.grad, wt.grad, bt.grad
+
+        fast = run(conv2d_transpose)
+        ref = run(conv2d_transpose_reference)
+        for got, want in zip(fast, ref):
+            np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_anisotropic_stride_falls_back(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 2)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 4, 2, 1)).astype(np.float32))
+        out = conv2d_transpose(x, w, stride=(2, 1))
+        assert out.shape == (1, 6, 4, 1)

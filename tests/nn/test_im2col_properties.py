@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the im2col substrate and autograd
+invariants that all higher layers rely on."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, conv2d, no_grad
+from repro.nn.im2col import dilate2d, extract_patches, fold_patches
+
+dims = st.integers(min_value=1, max_value=5)
+kernels = st.integers(min_value=1, max_value=3)
+strides = st.integers(min_value=1, max_value=2)
+
+
+@st.composite
+def patch_configs(draw):
+    kh, kw = draw(kernels), draw(kernels)
+    sh, sw = draw(strides), draw(strides)
+    h = draw(st.integers(min_value=kh, max_value=kh + 4))
+    w = draw(st.integers(min_value=kw, max_value=kw + 4))
+    n = draw(st.integers(min_value=1, max_value=2))
+    c = draw(st.integers(min_value=1, max_value=3))
+    return n, h, w, c, (kh, kw), (sh, sw)
+
+
+@given(patch_configs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_extract_fold_adjoint(config, seed):
+    """⟨extract(x), y⟩ == ⟨x, fold(y)⟩ — extract/fold are exact adjoints."""
+    n, h, w, c, kernel, stride = config
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, h, w, c))
+    patches = extract_patches(x, kernel, stride)
+    y = rng.standard_normal(patches.shape)
+    lhs = np.sum(patches * y)
+    rhs = np.sum(x * fold_patches(y, x.shape, stride))
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-10, atol=1e-10)
+
+
+@given(patch_configs())
+@settings(max_examples=40, deadline=None)
+def test_extract_patch_contents(config):
+    """Each patch equals the corresponding direct slice of the input."""
+    n, h, w, c, (kh, kw), (sh, sw) = config
+    x = np.arange(n * h * w * c, dtype=np.float64).reshape(n, h, w, c)
+    patches = extract_patches(x, (kh, kw), (sh, sw))
+    _, ho, wo = patches.shape[:3]
+    for i in range(ho):
+        for j in range(wo):
+            np.testing.assert_array_equal(
+                patches[:, i, j],
+                x[:, i * sh : i * sh + kh, j * sw : j * sw + kw, :],
+            )
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_dilate_inverse(h, w, sh, sw):
+    """Subsampling a dilated tensor recovers the original exactly."""
+    x = np.random.default_rng(0).standard_normal((1, h, w, 2))
+    d = dilate2d(x, (sh, sw))
+    np.testing.assert_array_equal(d[:, ::sh, ::sw, :], x)
+    # Everything else is zero.
+    total = np.abs(d).sum()
+    np.testing.assert_allclose(total, np.abs(x).sum())
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_conv_linearity(seed):
+    """conv(a·x + b·z, w) == a·conv(x, w) + b·conv(z, w)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 5, 5, 2))
+    z = rng.standard_normal((1, 5, 5, 2))
+    w = rng.standard_normal((3, 3, 2, 3))
+    a, b = rng.standard_normal(2)
+    with no_grad():
+        lhs = conv2d(Tensor(a * x + b * z), Tensor(w), padding="same").data
+        rhs = (
+            a * conv2d(Tensor(x), Tensor(w), padding="same").data
+            + b * conv2d(Tensor(z), Tensor(w), padding="same").data
+        )
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-8, atol=1e-8)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_conv_translation_equivariance(seed):
+    """Shifting the input (interior) shifts the 'valid' conv output."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 8, 8, 1))
+    w = rng.standard_normal((3, 3, 1, 1))
+    with no_grad():
+        y = conv2d(Tensor(x), Tensor(w), padding="valid").data
+        y_shift = conv2d(
+            Tensor(np.roll(x, 1, axis=1)), Tensor(w), padding="valid"
+        ).data
+    # Rows 1.. of the shifted output equal rows 0..-1 of the original.
+    np.testing.assert_allclose(y_shift[:, 1:], y[:, :-1], rtol=1e-8, atol=1e-8)

@@ -1,0 +1,157 @@
+"""Module system, layers, and serialization tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    ConvTranspose2d,
+    DepthToSpace,
+    Identity,
+    Module,
+    Parameter,
+    PReLU,
+    ReLU,
+    Sequential,
+    SpaceToDepth,
+    Tensor,
+    load_state,
+    no_grad,
+    save_state,
+)
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = Conv2d(2, 4, 3, rng=np.random.default_rng(0))
+        self.act = PReLU(4)
+        self.head = Sequential(
+            Conv2d(4, 4, 3, rng=np.random.default_rng(1)), ReLU()
+        )
+
+    def forward(self, x):
+        return self.head(self.act(self.conv(x)))
+
+
+class TestModuleRegistration:
+    def test_named_parameters_nested(self):
+        net = Net()
+        names = {n for n, _ in net.named_parameters()}
+        assert "conv.weight" in names
+        assert "conv.bias" in names
+        assert "act.alpha" in names
+        assert "head.layer0.weight" in names
+
+    def test_num_parameters(self):
+        net = Net()
+        expected = (3 * 3 * 2 * 4 + 4) + 4 + (3 * 3 * 4 * 4 + 4)
+        assert net.num_parameters() == expected
+
+    def test_named_modules(self):
+        net = Net()
+        names = {n for n, _ in net.named_modules()}
+        assert {"", "conv", "act", "head", "head.layer0"} <= names
+
+    def test_zero_grad(self):
+        net = Net()
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 6, 6, 2)).astype(np.float32))
+        (net(x) ** 2).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_mode_propagates(self):
+        net = Net()
+        net.eval()
+        assert not net.training and not net.head.training
+        net.train()
+        assert net.training and net.head.layers[1].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        for p in net1.parameters():
+            p.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(
+            net1.named_parameters(), net2.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["conv.weight"] += 99.0
+        assert not np.allclose(net.conv.weight.data, state["conv.weight"])
+
+    def test_strict_missing_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["conv.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+        net.load_state_dict(state, strict=False)  # ok non-strict
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["conv.weight"] = np.zeros((1, 1, 2, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_save_load_npz(self, tmp_path):
+        net1, net2 = Net(), Net()
+        for p in net1.parameters():
+            p.data += 0.5
+        path = os.path.join(tmp_path, "ckpt", "net.npz")
+        save_state(net1, path)
+        load_state(net2, path)
+        np.testing.assert_array_equal(net1.conv.weight.data, net2.conv.weight.data)
+
+
+class TestLayers:
+    def test_conv2d_layer_shapes(self, rng):
+        layer = Conv2d(3, 8, (3, 2), rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 6, 3)).astype(np.float32))
+        assert layer(x).shape == (2, 5, 6, 8)
+
+    def test_conv2d_no_bias(self, rng):
+        layer = Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv_transpose_layer(self, rng):
+        layer = ConvTranspose2d(4, 1, 9, stride=2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 5, 5, 4)).astype(np.float32))
+        assert layer(x).shape == (1, 10, 10, 1)
+
+    def test_prelu_parameterised_per_channel(self, rng):
+        layer = PReLU(3, init=0.1)
+        np.testing.assert_allclose(layer.alpha.data, [0.1, 0.1, 0.1])
+        x = Tensor(np.full((1, 1, 1, 3), -2.0, dtype=np.float32))
+        np.testing.assert_allclose(layer(x).data.ravel(), [-0.2, -0.2, -0.2],
+                                   rtol=1e-6)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal((2, 2)).astype(np.float32))
+        assert Identity()(x) is x
+
+    def test_depth_space_layers_roundtrip(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 4, 4)).astype(np.float32))
+        y = SpaceToDepth(2)(DepthToSpace(2)(x))
+        np.testing.assert_allclose(y.data, x.data)
+
+    def test_sequential_protocol(self):
+        seq = Sequential(ReLU(), Identity())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Identity"]
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.zeros(1)))

@@ -1,0 +1,148 @@
+"""Optimizers, losses, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, Tensor
+from repro.nn import init as init_mod
+from repro.nn.losses import charbonnier_loss, l1_loss, l2_loss, mse_loss
+from repro.nn.optim import Optimizer
+
+
+def quadratic_grad(p: Parameter, target: np.ndarray) -> None:
+    """Set p.grad for loss 0.5‖p − target‖²."""
+    p.grad = p.data - target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.3)
+        for _ in range(60):
+            quadratic_grad(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0], dtype=np.float32)
+
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                quadratic_grad(p, target)
+                opt.step()
+            return abs(float(p.data[0]) - 1.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=1.0).step()  # no grad set: must not crash or move
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([5.0, -1.0, 0.5], dtype=np.float32)
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_grad(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |Δp| of step 1 ≈ lr regardless of grad scale.
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale], dtype=np.float32)
+            opt.step()
+            np.testing.assert_allclose(abs(p.data[0]), 0.01, rtol=1e-3)
+
+    def test_defaults_match_paper(self):
+        opt = Adam([Parameter(np.zeros(1))])
+        assert opt.lr == pytest.approx(5e-4)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(1))
+        p.grad = np.ones(1)
+        Adam([p]).zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_base_step_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Optimizer([Parameter(np.zeros(1))], lr=0.1).step()
+
+
+class TestLosses:
+    def test_l1_value(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        b = Tensor(np.array([1.5, 2.0, 1.0]))
+        assert l1_loss(a, b).item() == pytest.approx((0.5 + 0 + 2) / 3)
+
+    def test_l2_is_half_mse(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        b = Tensor(np.array([0.0, 0.0]))
+        assert l2_loss(a, b).item() == pytest.approx(0.5 * mse_loss(a, b).item())
+
+    def test_charbonnier_approaches_l1(self):
+        a = Tensor(np.array([2.0, -1.0]))
+        b = Tensor(np.array([0.0, 0.0]))
+        assert charbonnier_loss(a, b, eps=1e-8).item() == pytest.approx(
+            l1_loss(a, b).item(), rel=1e-5
+        )
+
+    def test_losses_zero_at_identity(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        for fn in (l1_loss, l2_loss, mse_loss):
+            assert fn(a, a).item() == 0.0
+
+    def test_l1_gradient_sign(self):
+        a = Tensor(np.array([2.0, -3.0]), requires_grad=True)
+        l1_loss(a, Tensor(np.zeros(2))).backward()
+        np.testing.assert_allclose(a.grad, [0.5, -0.5])
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds_and_scale(self, rng):
+        w = init_mod.glorot_uniform((3, 3, 16, 16), rng)
+        limit = np.sqrt(6.0 / (9 * 16 + 9 * 16))
+        assert w.shape == (3, 3, 16, 16)
+        assert np.all(np.abs(w) <= limit)
+        assert w.std() == pytest.approx(limit / np.sqrt(3), rel=0.1)
+
+    def test_he_normal_scale(self, rng):
+        w = init_mod.he_normal((3, 3, 64, 64), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (9 * 64)), rel=0.1)
+
+    def test_dense_fans(self, rng):
+        w = init_mod.glorot_uniform((100, 200), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_bad_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            init_mod.glorot_uniform((3, 3, 3), rng)
+
+    def test_identity_conv_is_identity(self, rng):
+        from repro.nn import Tensor, conv2d, no_grad
+
+        w = init_mod.identity_conv(3, 4)
+        x = rng.standard_normal((1, 5, 5, 4)).astype(np.float32)
+        with no_grad():
+            y = conv2d(Tensor(x), Tensor(w), padding="same").data
+        np.testing.assert_allclose(y, x)
+
+    def test_identity_conv_even_raises(self):
+        with pytest.raises(ValueError):
+            init_mod.identity_conv(2, 4)
+
+    def test_zeros(self):
+        assert not init_mod.zeros((2, 2)).any()

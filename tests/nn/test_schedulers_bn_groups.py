@@ -1,0 +1,182 @@
+"""Tests for lr schedulers, BatchNorm2d (+ buffers), and grouped convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm2d,
+    ConstantLR,
+    Conv2d,
+    CosineDecay,
+    StepDecay,
+    Tensor,
+    WarmupCosine,
+    conv2d,
+    no_grad,
+)
+from tests.conftest import check_gradient
+
+
+class TestSchedulers:
+    def test_constant(self):
+        s = ConstantLR(1e-3)
+        assert s.lr_at(0) == s.lr_at(10**6) == 1e-3
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, milestones=[10, 20], gamma=0.1)
+        assert s.lr_at(0) == 1.0
+        assert s.lr_at(10) == pytest.approx(0.1)
+        assert s.lr_at(25) == pytest.approx(0.01)
+
+    def test_step_decay_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, milestones=[20, 10])
+
+    def test_cosine_endpoints(self):
+        s = CosineDecay(1.0, total_steps=100, min_lr=0.1)
+        assert s.lr_at(0) == pytest.approx(1.0)
+        assert s.lr_at(100) == pytest.approx(0.1)
+        assert s.lr_at(50) == pytest.approx(0.55)
+        assert s.lr_at(500) == pytest.approx(0.1)  # clamped past the end
+
+    def test_cosine_monotone(self):
+        s = CosineDecay(1.0, total_steps=50)
+        lrs = [s.lr_at(i) for i in range(51)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_cosine(self):
+        s = WarmupCosine(1.0, total_steps=100, warmup_steps=10)
+        assert s.lr_at(0) == pytest.approx(0.1)  # linear ramp
+        assert s.lr_at(9) == pytest.approx(1.0)
+        assert s.lr_at(100) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            WarmupCosine(1.0, total_steps=10, warmup_steps=10)
+
+    def test_apply_sets_optimizer_lr(self):
+        from repro.nn import Parameter
+
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        s = CosineDecay(1e-2, total_steps=10)
+        s.apply(opt, 0)
+        assert opt.lr == pytest.approx(1e-2)
+
+    def test_invalid_base_lr(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_trainer_integration(self):
+        from repro.core import SESR
+        from repro.datasets import PatchSampler, SyntheticDataset
+        from repro.train import Trainer
+
+        ds = SyntheticDataset("set5", n_images=2, size=(48, 48), scale=2, seed=1)
+        sam = PatchSampler(ds, scale=2, patch_size=12, crops_per_image=4,
+                           batch_size=4)
+        trainer = Trainer(SESR(scale=2, f=8, m=1, expansion=16), lr=1e-3)
+        sched = CosineDecay(1e-3, total_steps=sam.steps_per_epoch())
+        trainer.fit(sam, epochs=1, scheduler=sched)
+        # lr was annealed by the final step.
+        assert trainer.optimizer.lr < 1e-3
+
+
+class TestBatchNorm:
+    def test_train_normalises(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor((rng.standard_normal((8, 6, 6, 3)) * 3 + 2).astype(np.float32))
+        y = bn(x).data
+        np.testing.assert_allclose(y.mean(axis=(0, 1, 2)), 0, atol=1e-4)
+        np.testing.assert_allclose(y.std(axis=(0, 1, 2)), 1, atol=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2, momentum=1.0)  # adopt batch stats immediately
+        x = Tensor((rng.standard_normal((16, 4, 4, 2)) + 5).astype(np.float32))
+        bn(x)  # train pass updates running stats
+        bn.eval()
+        y = bn(x).data
+        np.testing.assert_allclose(y.mean(axis=(0, 1, 2)), 0, atol=0.05)
+
+    def test_gradients_flow_to_affine(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 3, 3, 2)).astype(np.float32))
+        (bn(x) ** 2).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_gradcheck_train_mode(self, rng):
+        from repro.nn import Parameter
+        from repro.nn.modules import Module
+
+        x = rng.standard_normal((3, 4, 4, 2))
+        g = rng.uniform(0.5, 1.5, size=2)
+        b = rng.standard_normal(2)
+
+        def loss(xt, gt, bt):
+            mu = xt.mean(axis=(0, 1, 2))
+            centred = xt - mu.reshape(1, 1, 1, 2)
+            var = (centred * centred).mean(axis=(0, 1, 2))
+            inv = (var.reshape(1, 1, 1, 2) + 1e-5) ** -0.5
+            return ((centred * inv * gt + bt) ** 3).sum()
+
+        check_gradient(loss, [x, g, b], atol=1e-4)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(4)
+        bn.running_mean[...] = 7.0
+        state = bn.state_dict()
+        assert state["running_mean"][0] == 7.0
+        bn2 = BatchNorm2d(4)
+        bn2.load_state_dict(state)
+        np.testing.assert_allclose(bn2.running_mean, 7.0)
+
+    def test_buffer_strict_loading(self):
+        bn = BatchNorm2d(4)
+        state = bn.state_dict()
+        del state["running_var"]
+        with pytest.raises(KeyError, match="missing"):
+            bn.load_state_dict(state)
+
+
+class TestGroupedConv:
+    def test_matches_per_group_convs(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 5, 6)).astype(np.float64))
+        w = Tensor(rng.standard_normal((3, 3, 2, 9)).astype(np.float64))
+        with no_grad():
+            grouped = conv2d(x, w, groups=3).data
+            parts = [
+                conv2d(x[:, :, :, 2 * g : 2 * g + 2],
+                       w[:, :, :, 3 * g : 3 * g + 3]).data
+                for g in range(3)
+            ]
+        np.testing.assert_allclose(grouped, np.concatenate(parts, axis=3))
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((1, 4, 4, 4))
+        w = rng.standard_normal((3, 3, 2, 4))
+        b = rng.standard_normal(4)
+        check_gradient(
+            lambda xt, wt, bt: (conv2d(xt, wt, bt, groups=2) ** 2).sum(),
+            [x, w, b],
+        )
+
+    def test_group_validation(self, rng):
+        x = Tensor(np.zeros((1, 4, 4, 5), dtype=np.float32))
+        w = Tensor(np.zeros((3, 3, 2, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="divisible"):
+            conv2d(x, w, groups=2)
+        with pytest.raises(ValueError, match="C_in"):
+            conv2d(Tensor(np.zeros((1, 4, 4, 4), dtype=np.float32)),
+                   Tensor(np.zeros((3, 3, 3, 4), dtype=np.float32)), groups=2)
+
+    def test_conv2d_layer_groups(self, rng):
+        layer = Conv2d(4, 8, 3, groups=2, rng=rng)
+        assert layer.weight.shape == (3, 3, 2, 8)
+        x = Tensor(rng.standard_normal((1, 5, 5, 4)).astype(np.float32))
+        assert layer(x).shape == (1, 5, 5, 8)
+        with pytest.raises(ValueError):
+            Conv2d(5, 8, 3, groups=2)
+
+    def test_groups_reduce_params(self):
+        dense = Conv2d(8, 8, 3, groups=1)
+        grouped = Conv2d(8, 8, 3, groups=4)
+        assert grouped.weight.size == dense.weight.size // 4

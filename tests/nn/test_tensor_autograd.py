@@ -1,0 +1,239 @@
+"""Autograd engine tests: every primitive's gradient against finite
+differences, plus graph-topology corner cases (reuse, diamonds, deep chains)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concatenate, no_grad, stack, where
+from tests.conftest import check_gradient
+
+
+class TestElementwiseGradients:
+    def test_add_sub_mul_div(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4)) + 3.0  # keep away from zero for div
+        check_gradient(lambda x, y: ((x + y) * (x - y) / y).sum(), [a, b])
+
+    def test_scalar_broadcast(self, rng):
+        a = rng.standard_normal((2, 3))
+        check_gradient(lambda x: (x * 2.5 + 1.0).sum(), [a])
+        check_gradient(lambda x: (3.0 - x).sum(), [a])
+        check_gradient(lambda x: (1.0 / (x + 10.0)).sum(), [a])
+
+    def test_broadcast_shapes(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((4,))
+        c = rng.standard_normal((3, 1))
+        check_gradient(lambda x, y, z: (x * y + z).sum(), [a, b, c])
+
+    def test_pow(self, rng):
+        a = rng.standard_normal((3, 3)) + 2.5
+        check_gradient(lambda x: (x**3).sum(), [a])
+        check_gradient(lambda x: (x**0.5).sum(), [a])
+
+    def test_exp_log(self, rng):
+        a = rng.standard_normal((4,)) * 0.5 + 2.0
+        check_gradient(lambda x: (x.exp() + x.log()).sum(), [a])
+
+    def test_abs(self, rng):
+        a = rng.standard_normal((5,)) + 0.5  # avoid the kink at 0
+        check_gradient(lambda x: x.abs().sum(), [a])
+
+    def test_maximum_minimum(self, rng):
+        a = rng.standard_normal((6,))
+        b = rng.standard_normal((6,)) + 0.05
+        check_gradient(lambda x, y: (x.maximum(y) + x.minimum(y)).sum(), [a, b])
+
+    def test_clip(self, rng):
+        a = rng.standard_normal((10,)) * 2
+        check_gradient(lambda x: x.clip(-1.0, 1.0).sum(), [a])
+
+    def test_neg(self, rng):
+        a = rng.standard_normal((3,))
+        check_gradient(lambda x: (-x * x).sum(), [a])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.sum() ** 2), [a])
+
+    def test_sum_axis(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        check_gradient(lambda x: (x.sum(axis=1) ** 2).sum(), [a])
+        check_gradient(lambda x: (x.sum(axis=(0, 2)) ** 2).sum(), [a])
+        check_gradient(lambda x: (x.sum(axis=2, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.mean() * 7.0), [a])
+        check_gradient(lambda x: (x.mean(axis=0) ** 2).sum(), [a])
+
+    def test_max(self, rng):
+        a = rng.standard_normal((4, 5))
+        # Perturb so the argmax is unique (finite differences at ties break).
+        a += np.arange(20).reshape(4, 5) * 1e-3
+        check_gradient(lambda x: x.max().sum(), [a])
+        check_gradient(lambda x: x.max(axis=1).sum(), [a])
+
+
+class TestShapeOpGradients:
+    def test_reshape(self, rng):
+        a = rng.standard_normal((2, 6))
+        check_gradient(lambda x: (x.reshape(3, 4) ** 2).sum(), [a])
+        check_gradient(lambda x: (x.reshape((4, 3)) ** 2).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        check_gradient(lambda x: (x.transpose((2, 0, 1)) ** 3).sum(), [a])
+
+    def test_flip(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.flip(0) * x.flip((0, 1))).sum(), [a])
+
+    def test_pad(self, rng):
+        a = rng.standard_normal((2, 3))
+        check_gradient(lambda x: (x.pad(((1, 2), (0, 1))) ** 2).sum(), [a])
+
+    def test_getitem(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_gradient(lambda x: (x[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        t = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = t[np.array([0, 0, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [2.0, 1.0, 0.0])
+
+
+class TestCombinators:
+    def test_stack(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 3))
+        check_gradient(lambda x, y: (stack([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_concatenate(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((4, 3))
+        check_gradient(lambda x, y: (concatenate([x, y], axis=0) ** 2).sum(), [a, b])
+
+    def test_where(self, rng):
+        a = rng.standard_normal((5,))
+        b = rng.standard_normal((5,))
+        mask = np.array([True, False, True, True, False])
+        check_gradient(lambda x, y: where(mask, x * 2, y * 3).sum(), [a, b])
+
+
+class TestGraphTopology:
+    def test_tensor_reuse_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x  # x used twice in one op
+        y.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x + 1.0
+        out = (a * b).sum()  # d/dx (3x(x+1)) = 6x + 3 = 15
+        out.backward()
+        np.testing.assert_allclose(x.grad, [15.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(4))
+
+    def test_shared_subexpression(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        s = x * 2.0
+        out = (s * s + s).sum()  # d/dx(4x^2 + 2x) = 8x + 2 = 14
+        out.backward()
+        np.testing.assert_allclose(x.grad, [14.0])
+
+    def test_backward_twice_accumulates_into_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            pass
+        y = x * 2.0
+        assert y.requires_grad
+
+
+class TestErrorsAndMisc:
+    def test_backward_requires_grad(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+        (x * 2).backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_as_tensor_passthrough(self):
+        x = Tensor(np.ones(2))
+        assert as_tensor(x) is x
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data  # view, no copy
+
+    def test_default_dtype_float32(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_pow_non_scalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** np.ones(2)
+
+
+class TestGradMode:
+    def test_is_grad_enabled_reflects_context(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()

@@ -1,0 +1,97 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_image, save_image
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if isinstance(a, type(parser._actions[-1]))
+                   and hasattr(a, "choices") and a.choices)
+        assert {"train", "eval", "upscale", "collapse", "estimate", "nas"} <= \
+            set(sub.choices)
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEstimate:
+    def test_estimate_runs(self, capsys):
+        assert main(["estimate", "--resolution", "640x360"]) == 0
+        out = capsys.readouterr().out
+        assert "SESR-M5" in out and "FSRCNN" in out
+        assert "MACs" in out
+
+    def test_estimate_with_tile(self, capsys):
+        assert main(["estimate", "--resolution", "640x360",
+                     "--tile", "90"]) == 0
+        assert "tiled" in capsys.readouterr().out
+
+
+class TestTrainEvalCollapse:
+    def test_train_save_collapse_upscale(self, tmp_path, capsys):
+        ckpt = os.path.join(tmp_path, "m.npz")
+        rc = main([
+            "train", "--model", "M3", "--epochs", "1", "--images", "2",
+            "--patch", "12", "--out", ckpt,
+        ])
+        assert rc == 0 and os.path.exists(ckpt)
+
+        collapsed = os.path.join(tmp_path, "c.npz")
+        assert main(["collapse", "--model", "M3", "--ckpt", ckpt,
+                     "--out", collapsed]) == 0
+        assert os.path.exists(collapsed)
+
+        # Upscale a grey and a colour image, full-frame and tiled.
+        rng = np.random.default_rng(0)
+        grey = os.path.join(tmp_path, "g.pgm")
+        save_image(grey, rng.random((24, 20)).astype(np.float32))
+        out = os.path.join(tmp_path, "g2.pgm")
+        assert main(["upscale", "--model", "M3", "--ckpt", ckpt,
+                     "--input", grey, "--output", out]) == 0
+        assert load_image(out).shape == (48, 40)
+
+        colour = os.path.join(tmp_path, "c.ppm")
+        save_image(colour, rng.random((16, 16, 3)).astype(np.float32))
+        out2 = os.path.join(tmp_path, "c2.ppm")
+        assert main(["upscale", "--model", "M3", "--ckpt", ckpt,
+                     "--input", colour, "--output", out2,
+                     "--tile", "8"]) == 0
+        assert load_image(out2).shape == (32, 32, 3)
+
+
+class TestNas:
+    def test_nas_command_runs(self, capsys):
+        assert main(["nas", "--slots", "2", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "found:" in out and "latency" in out
+
+
+class TestEvalOnFolder:
+    def test_eval_on_real_images(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        for i in range(2):
+            save_image(os.path.join(tmp_path, f"i{i}.pgm"),
+                       rng.random((32, 32)).astype(np.float32))
+        assert main(["eval", "--model", "M3", "--data", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out and str(tmp_path) in out
+
+
+class TestUpscaleEnsemble:
+    def test_upscale_with_ensemble(self, tmp_path):
+        rng = np.random.default_rng(1)
+        src = os.path.join(tmp_path, "in.pgm")
+        save_image(src, rng.random((16, 16)).astype(np.float32))
+        dst = os.path.join(tmp_path, "out.pgm")
+        assert main(["upscale", "--model", "M3", "--input", src,
+                     "--output", dst, "--ensemble"]) == 0
+        assert load_image(dst).shape == (32, 32)

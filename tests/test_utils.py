@@ -1,0 +1,57 @@
+"""Utility-module tests."""
+
+import time
+
+import pytest
+
+from repro.utils import format_si, format_table, timed
+
+
+class TestFormatSI:
+    def test_scales(self):
+        assert format_si(6.3e9) == "6.30G"
+        assert format_si(13520) == "13.52K"
+        assert format_si(2e12) == "2.00T"
+        assert format_si(1.5e6) == "1.50M"
+        assert format_si(42.0) == "42.00"
+
+    def test_none(self):
+        assert format_si(None) == "-"
+
+    def test_unit_and_digits(self):
+        assert format_si(6.0e9, unit="MAC", digits=1) == "6.0GMAC"
+
+
+class TestFormatTable:
+    def test_alignment_and_none(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["longer", None]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "-" in lines[4]  # None rendered as dash
+        # Columns align: all rows same length.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # header/sep/rows may differ by trailing pad
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestTimed:
+    def test_measures_elapsed(self):
+        with timed("x") as t:
+            time.sleep(0.01)
+        assert t["seconds"] >= 0.01
+        assert t["label"] == "x"
+
+    def test_survives_exception(self):
+        with pytest.raises(RuntimeError):
+            with timed() as t:
+                raise RuntimeError("boom")
+        assert t["seconds"] >= 0

@@ -1,0 +1,116 @@
+"""Model-zoo registry tests: our computed complexity columns must agree with
+the paper's reported Tables 1–2 values, and factories must build runnable
+models."""
+
+import numpy as np
+import pytest
+
+import repro.zoo as zoo
+from repro.nn import Tensor, no_grad
+
+
+class TestRegistryContents:
+    def test_all_table_rows_present(self):
+        expected = {
+            "Bicubic", "FSRCNN", "FSRCNN (our setup)", "MOREMNAS-C",
+            "SESR-M3", "SESR-M5", "SESR-M7", "TPSR-NoGAN", "SESR-M11",
+            "VDSR", "LapSRN", "BTSRN", "CARN-M", "MOREMNAS-B", "SESR-XL",
+        }
+        assert expected <= set(zoo.ZOO)
+
+    def test_regimes(self):
+        assert zoo.get("SESR-M5").regime == "small"
+        assert zoo.get("SESR-M11").regime == "medium"
+        assert zoo.get("SESR-XL").regime == "large"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            zoo.get("SRGAN")
+
+    def test_entries_for_scale(self):
+        x2 = zoo.entries_for_scale(2)
+        assert {"SESR-M5", "VDSR"} <= {e.name for e in x2}
+        x4 = zoo.entries_for_scale(4)
+        assert "MOREMNAS-C" not in {e.name for e in x4}  # ×2 only in paper
+        small_x2 = zoo.entries_for_scale(2, regime="small")
+        assert all(e.regime == "small" for e in small_x2)
+
+
+class TestComputedColumnsMatchReported:
+    @pytest.mark.parametrize("entry", zoo.modelled_entries(),
+                             ids=lambda e: e.name)
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_params(self, entry, scale):
+        reported = entry.reported_params_k.get(scale)
+        if reported is None:
+            pytest.skip("no reported value at this scale")
+        computed = entry.computed_params(scale)
+        assert computed == pytest.approx(reported * 1e3, rel=0.005)
+
+    @pytest.mark.parametrize("entry", zoo.modelled_entries(),
+                             ids=lambda e: e.name)
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_macs(self, entry, scale):
+        reported = entry.reported_macs_g.get(scale)
+        if reported is None:
+            pytest.skip("no reported value at this scale")
+        computed = entry.computed_macs_720p(scale)
+        assert computed == pytest.approx(reported * 1e9, rel=0.01)
+
+    def test_unmodelled_entries_return_none(self):
+        entry = zoo.get("CARN-M")
+        assert entry.computed_params(2) is None
+        assert entry.computed_macs_720p(2) is None
+
+
+class TestReportedQuality:
+    def test_sesr_dominates_fsrcnn_in_paper_numbers(self):
+        """Sanity on transcription: the paper's core claim must hold in the
+        registry itself."""
+        sesr = zoo.get("SESR-M5").reported_quality[2]
+        fsrcnn = zoo.get("FSRCNN").reported_quality[2]
+        for ds in ("set5", "set14", "bsd100", "urban100", "div2k"):
+            assert sesr[ds][0] > fsrcnn[ds][0], ds
+
+    def test_m11_close_to_vdsr(self):
+        """SESR-M11 ~ VDSR quality at 97× fewer MACs (paper §5.2)."""
+        m11 = zoo.get("SESR-M11")
+        vdsr = zoo.get("VDSR")
+        for scale in (2, 4):
+            for ds in ("set5", "set14", "bsd100"):
+                gap = vdsr.reported_quality[scale][ds][0] - \
+                    m11.reported_quality[scale][ds][0]
+                assert gap < 0.15, (scale, ds)
+        ratio = vdsr.reported_macs_g[2] / m11.reported_macs_g[2]
+        assert ratio == pytest.approx(97, rel=0.05)
+
+    def test_x4_macs_savings_vs_fsrcnn(self):
+        """SESR-M5 ×4 needs ~4.4× fewer MACs than FSRCNN (paper §5.2)."""
+        ratio = zoo.get("FSRCNN").reported_macs_g[4] / \
+            zoo.get("SESR-M5").reported_macs_g[4]
+        assert ratio == pytest.approx(4.4, rel=0.05)
+
+    def test_bicubic_is_worst_everywhere(self):
+        bicubic = zoo.get("Bicubic")
+        for scale in (2, 4):
+            for other in ("FSRCNN", "SESR-M5", "VDSR"):
+                entry = zoo.get(other)
+                for ds, (p, s) in entry.reported_quality[scale].items():
+                    if p is None:
+                        continue
+                    assert p > bicubic.reported_quality[scale][ds][0]
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", ["SESR-M3", "SESR-M5", "FSRCNN"])
+    def test_factory_builds_runnable_model(self, name, rng):
+        entry = zoo.get(name)
+        model = entry.factory(scale=2, seed=0)
+        x = Tensor(rng.standard_normal((1, 8, 8, 1)).astype(np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 16, 16, 1)
+
+    def test_sesr_factory_params_match_spec(self):
+        entry = zoo.get("SESR-M5")
+        model = entry.factory(scale=2)
+        assert model.collapsed_num_parameters() == entry.computed_params(2)

@@ -1,0 +1,184 @@
+"""§4 theory tests: the paper's analytical claims, verified empirically.
+
+Claim 1 (Eq. 5): RepVGG's collapsed update is *exactly* a VGG update with
+λ = 2η — no adaptivity whatsoever.
+
+Claim 2 (Eqs. 3–4): ExpandNet and SESR produce time-varying adaptive
+updates; SESR carries an extra γ·I term from the collapsible residual.
+
+Claim 3: deep linear chains without residuals suffer exponentially
+vanishing gradients; residual chains do not.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    ExpandNetLinear,
+    RepVGGLinear,
+    SESRLinear,
+    VGGLinear,
+    adaptive_coefficients,
+    build,
+    chain_gradient_magnitude,
+    compare_schemes,
+    grad_beta,
+    loss,
+    make_regression,
+    predicted_update_expandnet,
+    predicted_update_repvgg,
+    predicted_update_sesr,
+    predicted_update_vgg,
+    train,
+)
+
+
+@pytest.fixture
+def problem(rng):
+    x, y, b_true = make_regression(5, 5, 256, rng)
+    beta0 = 0.1 * rng.standard_normal((5, 5))
+    return x, y, beta0
+
+
+class TestRepVGGEqualsVGG:
+    def test_single_step_exact(self, problem):
+        x, y, beta0 = problem
+        model = RepVGGLinear(beta0)
+        g = grad_beta(model.beta(), x, y)
+        expected = predicted_update_repvgg(model.beta(), g, lr=1e-3)
+        model.step(x, y, 1e-3)
+        np.testing.assert_allclose(model.beta(), expected, atol=1e-14)
+
+    def test_trajectory_identical_to_vgg_at_double_lr(self, problem):
+        """The §5.4 phenomenon: RepVGG ≡ VGG for these networks."""
+        x, y, beta0 = problem
+        t_rep = train(RepVGGLinear(beta0), x, y, lr=1e-3, steps=100)
+        t_vgg = train(VGGLinear(beta0), x, y, lr=2e-3, steps=100)
+        for b_rep, b_vgg in zip(t_rep.betas, t_vgg.betas):
+            np.testing.assert_allclose(b_rep, b_vgg, atol=1e-12)
+
+    @given(st.integers(0, 2**31 - 1), st.floats(1e-4, 5e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_branch_scale_irrelevant(self, seed, lr):
+        """However RepVGG splits β across branches, the trajectory is equal."""
+        rng = np.random.default_rng(seed)
+        x, y, _ = make_regression(4, 4, 64, rng)
+        beta0 = 0.1 * rng.standard_normal((4, 4))
+        t_a = train(RepVGGLinear(beta0, branch_scale=0.1), x, y, lr, 30)
+        t_b = train(RepVGGLinear(beta0, branch_scale=0.9), x, y, lr, 30)
+        np.testing.assert_allclose(t_a.betas[-1], t_b.betas[-1], atol=1e-10)
+
+
+class TestAdaptiveUpdates:
+    @given(st.integers(0, 2**31 - 1), st.floats(1e-4, 2e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_expandnet_matches_eq3_to_first_order(self, seed, lr):
+        rng = np.random.default_rng(seed)
+        x, y, _ = make_regression(4, 4, 64, rng)
+        beta0 = 0.1 * rng.standard_normal((4, 4))
+        model = ExpandNetLinear(beta0, w2=1.2)
+        g = grad_beta(model.beta(), x, y)
+        gw2 = float(np.sum(g * model.w1))
+        predicted = predicted_update_expandnet(model.beta(), g, model.w2, gw2, lr)
+        model.step(x, y, lr)
+        # Discrepancy is the dropped O(η²) term.
+        assert np.abs(model.beta() - predicted).max() < 50 * lr**2
+
+    @given(st.integers(0, 2**31 - 1), st.floats(1e-4, 2e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_sesr_matches_eq4_to_first_order(self, seed, lr):
+        rng = np.random.default_rng(seed)
+        x, y, _ = make_regression(4, 4, 64, rng)
+        beta0 = 0.1 * rng.standard_normal((4, 4))
+        model = SESRLinear(beta0, w2=1.2)
+        g = grad_beta(model.beta(), x, y)
+        gw2 = float(np.sum(g * model.w1))
+        predicted = predicted_update_sesr(model.beta(), g, model.w2, gw2, lr)
+        model.step(x, y, lr)
+        assert np.abs(model.beta() - predicted).max() < 50 * lr**2
+
+    def test_sesr_differs_from_expandnet_by_gamma_identity(self, problem):
+        """Eq. 4 = Eq. 3 + γ·I: the extra term is exactly γ on the diagonal."""
+        x, y, beta0 = problem
+        g = grad_beta(beta0, x, y)
+        w2, gw2, lr = 1.3, 0.7, 1e-3
+        diff = predicted_update_sesr(beta0, g, w2, gw2, lr) - \
+            predicted_update_expandnet(beta0, g, w2, gw2, lr)
+        _, gamma = adaptive_coefficients(w2, gw2, lr)
+        np.testing.assert_allclose(diff, gamma * np.eye(5), atol=1e-12)
+
+    def test_vgg_update(self, problem):
+        x, y, beta0 = problem
+        g = grad_beta(beta0, x, y)
+        np.testing.assert_allclose(
+            predicted_update_vgg(beta0, g, 1e-2), beta0 - 1e-2 * g
+        )
+
+    def test_adaptive_coefficients(self):
+        rho, gamma = adaptive_coefficients(w2=2.0, grad_w2=0.5, lr=0.01)
+        assert rho == pytest.approx(0.04)
+        assert gamma == pytest.approx(0.0025)
+
+    def test_sesr_genuinely_differs_from_vgg_trajectory(self, problem):
+        x, y, beta0 = problem
+        t_sesr = train(SESRLinear(beta0), x, y, lr=1e-3, steps=50)
+        t_vgg = train(VGGLinear(beta0), x, y, lr=1e-3, steps=50)
+        assert np.abs(t_sesr.betas[-1] - t_vgg.betas[-1]).max() > 1e-6
+
+
+class TestVanishingGradients:
+    def test_no_residual_chain_vanishes(self):
+        mags = [
+            chain_gradient_magnitude(26, residual=False,
+                                     rng=np.random.default_rng(i))
+            for i in range(100)
+        ]
+        assert np.mean(mags) < 1e-6
+
+    def test_residual_chain_survives(self):
+        mags = [
+            chain_gradient_magnitude(26, residual=True,
+                                     rng=np.random.default_rng(i))
+            for i in range(100)
+        ]
+        assert np.mean(mags) > 1e-2
+
+    def test_depth_scaling(self):
+        """Gradient magnitude decays exponentially with depth w/o residuals."""
+        def mean_mag(depth):
+            return np.mean([
+                chain_gradient_magnitude(depth, residual=False,
+                                         rng=np.random.default_rng(i))
+                for i in range(200)
+            ])
+
+        m13, m26 = mean_mag(13), mean_mag(26)
+        assert m26 < m13 * 1e-3
+
+
+class TestConvergence:
+    def test_overparameterized_beat_vgg(self):
+        """§4's empirical backdrop: implicit acceleration from linear
+        overparameterization (Arora et al.)."""
+        results = compare_schemes(steps=150, lr=0.02, seed=0)
+        assert results["sesr"].final_loss < results["vgg"].final_loss
+        assert results["expandnet"].final_loss < results["vgg"].final_loss
+
+    def test_all_schemes_reduce_loss(self):
+        results = compare_schemes(steps=100, lr=0.02, seed=1)
+        for t in results.values():
+            assert t.final_loss < t.losses[0]
+
+    def test_build_dispatch(self, problem):
+        x, y, beta0 = problem
+        for scheme in ("vgg", "expandnet", "sesr", "repvgg"):
+            model = build(scheme, beta0)
+            np.testing.assert_allclose(model.beta(), beta0, atol=1e-10)
+
+    def test_loss_function(self):
+        beta = np.zeros((2, 2))
+        x = np.ones((4, 2))
+        y = np.ones((4, 2))
+        assert loss(beta, x, y) == pytest.approx(1.0)  # 0.5·mean(1+1)

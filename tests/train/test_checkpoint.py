@@ -1,0 +1,116 @@
+"""Resumable-training checkpoint tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import SESR
+from repro.datasets import PatchSampler, SyntheticDataset
+from repro.nn import SGD, Adam, Parameter
+from repro.train import Trainer, load_checkpoint, load_extra, save_checkpoint
+
+
+def _sampler(seed=3):
+    ds = SyntheticDataset("div2k", n_images=2, size=(48, 48), scale=2, seed=1)
+    return PatchSampler(ds, scale=2, patch_size=12, crops_per_image=8,
+                        batch_size=4, seed=seed)
+
+
+class TestCheckpointRoundtrip:
+    def test_resume_is_bit_exact(self, tmp_path):
+        """Train 4 steps, checkpoint, train 4 more — identical to a fresh
+        model resumed from the checkpoint and trained on the same batches."""
+        batches = list(_sampler().batches(2))
+        m1 = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        t1 = Trainer(m1, lr=1e-3)
+        for b in batches[:4]:
+            t1.train_step(*b)
+        path = os.path.join(tmp_path, "ck.npz")
+        save_checkpoint(path, m1, t1.optimizer, step=4)
+        for b in batches[4:]:
+            t1.train_step(*b)
+
+        m2 = SESR(scale=2, f=8, m=1, expansion=16, seed=42)
+        t2 = Trainer(m2, lr=1e-3)
+        assert load_checkpoint(path, m2, t2.optimizer) == 4
+        for b in batches[4:]:
+            t2.train_step(*b)
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_model_only_checkpoint(self, tmp_path):
+        model = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        path = os.path.join(tmp_path, "m.npz")
+        save_checkpoint(path, model)
+        clone = SESR(scale=2, f=8, m=1, expansion=16, seed=9)
+        assert load_checkpoint(path, clone) == 0
+        np.testing.assert_array_equal(
+            model.first.w_expand.data, clone.first.w_expand.data
+        )
+
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        model = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        path = os.path.join(tmp_path, "m.npz")
+        save_checkpoint(path, model)
+        opt = Adam(model.parameters())
+        with pytest.raises(KeyError, match="optimizer"):
+            load_checkpoint(path, model, opt)
+
+    def test_optimizer_kind_mismatch_raises(self, tmp_path):
+        p = Parameter(np.zeros(3))
+        sgd = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(3)
+        sgd.step()
+
+        class Holder:
+            def state_dict(self):
+                return {"p": p.data}
+
+            def load_state_dict(self, s, strict=True):
+                pass
+
+        path = os.path.join(tmp_path, "s.npz")
+        save_checkpoint(path, Holder(), sgd)
+        with pytest.raises(TypeError, match="sgd"):
+            load_checkpoint(path, Holder(), Adam([p]))
+
+    def test_sgd_velocity_roundtrip(self, tmp_path):
+        p = Parameter(np.zeros(3))
+        sgd = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(3)
+        sgd.step()
+
+        class Holder:
+            def state_dict(self):
+                return {"p": p.data.copy()}
+
+            def load_state_dict(self, s, strict=True):
+                p.data[...] = s["p"]
+
+        path = os.path.join(tmp_path, "s.npz")
+        save_checkpoint(path, Holder(), sgd, step=1)
+        p2 = Parameter(np.zeros(3))
+        sgd2 = SGD([p2], lr=0.5, momentum=0.9)
+        load_checkpoint(path, Holder(), sgd2)
+        assert sgd2.lr == pytest.approx(0.1)
+        np.testing.assert_allclose(sgd2._velocity[0], sgd._velocity[0])
+
+    def test_extra_payload(self, tmp_path):
+        model = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        path = os.path.join(tmp_path, "e.npz")
+        save_checkpoint(path, model, extra={"best_psnr": np.float64(31.7)})
+        extra = load_extra(path)
+        assert extra["best_psnr"] == pytest.approx(31.7)
+
+    def test_unsupported_optimizer_raises(self, tmp_path):
+        from repro.nn.optim import Optimizer
+
+        class Weird(Optimizer):
+            def step(self):
+                pass
+
+        model = SESR(scale=2, f=8, m=1, expansion=16, seed=0)
+        with pytest.raises(TypeError):
+            save_checkpoint(os.path.join(tmp_path, "w.npz"), model,
+                            Weird(model.parameters(), lr=0.1))

@@ -1,0 +1,191 @@
+"""Trainer / experiment-harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SESR
+from repro.datasets import PatchSampler, SyntheticDataset, bicubic_upscale
+from repro.train import (
+    ExperimentConfig,
+    Trainer,
+    bicubic_baseline,
+    evaluate_fn,
+    evaluate_model,
+    make_train_sampler,
+    predict_image,
+    run_experiment,
+)
+
+
+def tiny_model(seed=0):
+    return SESR(scale=2, f=8, m=1, expansion=16, seed=seed)
+
+
+def tiny_dataset():
+    return SyntheticDataset("set5", n_images=2, size=(48, 48), scale=2, seed=4)
+
+
+def tiny_sampler(seed=0):
+    return PatchSampler(tiny_dataset(), scale=2, patch_size=12,
+                        crops_per_image=4, batch_size=4, seed=seed)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        trainer = Trainer(tiny_model(), lr=2e-3)
+        result = trainer.fit(tiny_sampler(), epochs=8)
+        first = np.mean(result.loss_history[:3])
+        last = np.mean(result.loss_history[-3:])
+        assert last < first
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(KeyError):
+            Trainer(tiny_model(), loss="perceptual")
+
+    def test_eval_hook_called(self):
+        trainer = Trainer(tiny_model(), lr=1e-3)
+        calls = []
+        result = trainer.fit(
+            tiny_sampler(), epochs=2,
+            eval_every=2, eval_fn=lambda: calls.append(1) or 0.5,
+        )
+        assert len(result.val_history) == result.steps // 2
+        assert calls
+
+    def test_log_hook(self):
+        steps_seen = []
+        Trainer(tiny_model(), lr=1e-3).fit(
+            tiny_sampler(), epochs=1, log_fn=lambda s, l: steps_seen.append(s)
+        )
+        assert steps_seen == list(range(1, len(steps_seen) + 1))
+
+    def test_grad_clip_limits_norm(self):
+        model = tiny_model()
+        trainer = Trainer(model, lr=1e-3, grad_clip=1e-6)
+        lr_b, hr_b = next(tiny_sampler().batches())
+        trainer.train_step(lr_b, hr_b)
+        total = sum(float((p.grad ** 2).sum()) for p in model.parameters()
+                    if p.grad is not None)
+        assert np.sqrt(total) <= 1e-6 * 1.01
+
+    def test_deterministic_given_seeds(self):
+        def run():
+            trainer = Trainer(tiny_model(seed=3), lr=1e-3)
+            return trainer.fit(tiny_sampler(seed=5), epochs=1).loss_history
+
+        np.testing.assert_allclose(run(), run())
+
+
+class TestEvaluation:
+    def test_predict_image_shape_and_range(self):
+        lr, hr = tiny_dataset()[0]
+        pred = predict_image(tiny_model(), lr)
+        assert pred.shape == hr.shape
+        assert pred.min() >= 0.0 and pred.max() <= 1.0
+
+    def test_evaluate_model_keys(self):
+        metrics = evaluate_model(tiny_model(), tiny_dataset())
+        assert set(metrics) == {"psnr", "ssim"}
+        assert 0 < metrics["ssim"] <= 1
+        assert metrics["psnr"] > 5
+
+    def test_evaluate_fn_bicubic(self):
+        ds = tiny_dataset()
+        metrics = evaluate_fn(lambda img: bicubic_upscale(img, 2), ds)
+        assert metrics["psnr"] > 20  # bicubic is a decent baseline
+
+    def test_bicubic_baseline_dict(self):
+        suites = {"set5": tiny_dataset()}
+        out = bicubic_baseline(suites, scale=2)
+        assert "set5" in out and "psnr" in out["set5"]
+
+
+class TestExperimentRunner:
+    def test_run_experiment_end_to_end(self):
+        cfg = ExperimentConfig(
+            epochs=2, train_images=3, train_size=(48, 48),
+            patch_size=12, crops_per_image=4, batch_size=4,
+        )
+        suites = {"set5": tiny_dataset()}
+        res = run_experiment(tiny_model(), cfg, suites)
+        assert res.train.steps == 2 * (3 * 4 // 4)
+        assert res.psnr("set5") > 5
+        assert 0 < res.ssim("set5") <= 1
+
+    def test_experiment_deterministic(self):
+        cfg = ExperimentConfig(epochs=1, train_images=2, train_size=(48, 48),
+                               patch_size=12, crops_per_image=4, batch_size=4)
+
+        def run():
+            return run_experiment(tiny_model(seed=1), cfg,
+                                  {"set5": tiny_dataset()}).psnr("set5")
+
+        assert run() == pytest.approx(run())
+
+    def test_make_train_sampler_respects_config(self):
+        cfg = ExperimentConfig(train_images=5, batch_size=4, crops_per_image=8)
+        sampler = make_train_sampler(cfg)
+        assert sampler.steps_per_epoch() == 5 * 8 // 4
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_exhausted(self):
+        trainer = Trainer(tiny_model(), lr=1e-3)
+        vals = iter([1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3])
+        result = trainer.fit(
+            tiny_sampler(), epochs=10,
+            eval_every=1, eval_fn=lambda: next(vals),
+            early_stop_patience=3,
+        )
+        # First eval sets the best; three non-improving evals then stop.
+        assert result.steps == 4
+        assert len(result.val_history) == 4
+
+    def test_improving_metric_never_stops(self):
+        trainer = Trainer(tiny_model(), lr=1e-3)
+        counter = iter(range(1000))
+        result = trainer.fit(
+            tiny_sampler(), epochs=2,
+            eval_every=1, eval_fn=lambda: float(next(counter)),
+            early_stop_patience=2,
+        )
+        assert result.steps == 2 * tiny_sampler().steps_per_epoch()
+
+
+class TestNewLayers:
+    def test_linear_and_flatten(self):
+        from repro.nn import Flatten, Linear, Sequential, Tensor
+
+        net = Sequential(Flatten(), Linear(12, 3))
+        x = Tensor(np.random.default_rng(0).random((2, 2, 2, 3)).astype(np.float32))
+        assert net(x).shape == (2, 3)
+
+    def test_linear_gradcheck(self):
+        from repro.nn import Linear, Tensor
+        from tests.conftest import check_gradient
+
+        layer = Linear(4, 3, rng=np.random.default_rng(1))
+        w64 = layer.weight.data.astype(np.float64)
+        b64 = layer.bias.data.astype(np.float64)
+        x = np.random.default_rng(2).standard_normal((5, 4))
+        check_gradient(
+            lambda xt, wt, bt: ((xt @ wt + bt) ** 2).sum(), [x, w64, b64]
+        )
+
+    def test_dropout_modes(self):
+        from repro.nn import Dropout, Tensor
+
+        drop = Dropout(0.5, seed=3)
+        x = Tensor(np.ones((4, 100), dtype=np.float32))
+        train_out = drop(x).data
+        assert (train_out == 0).any()
+        # Inverted scaling keeps the expectation ~1.
+        assert abs(train_out.mean() - 1.0) < 0.15
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_dropout_validation(self):
+        from repro.nn import Dropout
+
+        with pytest.raises(ValueError):
+            Dropout(1.0)
