@@ -16,6 +16,8 @@ Package layout
 ``repro.nas``       hardware-aware DNAS over SESR backbones (§3.4)
 ``repro.zoo``       registry of every network in Tables 1-2 with the
                     paper's reported numbers
+``repro.serve``     batched, cached, multi-worker inference engine with an
+                    HTTP front-end (``python -m repro.cli serve``)
 
 Quickstart
 ----------
@@ -26,7 +28,20 @@ Quickstart
 >>> inference_net = model.collapse()
 """
 
-from . import core, datasets, deploy, hw, metrics, nas, nn, theory, train, utils, zoo
+from . import (
+    core,
+    datasets,
+    deploy,
+    hw,
+    metrics,
+    nas,
+    nn,
+    serve,
+    theory,
+    train,
+    utils,
+    zoo,
+)
 from .core import SESR, CollapsibleLinearBlock, FSRCNN
 
 __version__ = "1.0.0"
@@ -39,6 +54,7 @@ __all__ = [
     "metrics",
     "nas",
     "nn",
+    "serve",
     "theory",
     "train",
     "utils",

@@ -1,4 +1,5 @@
-"""Command-line interface: train / eval / upscale / collapse / estimate / nas.
+"""Command-line interface: train / eval / upscale / collapse / estimate /
+nas / serve.
 
 Examples
 --------
@@ -20,6 +21,11 @@ channel, as in the paper)::
 Simulate NPU performance for 1080p -> 4K (Table 3)::
 
     python -m repro.cli estimate --resolution 1920x1080
+
+Serve the collapsed network over HTTP (see docs/serving.md)::
+
+    python -m repro.cli serve --model M5 --scale 2 --workers 4 --port 8000
+    curl --data-binary @photo.ppm http://127.0.0.1:8000/upscale -o photo_x2.ppm
 """
 
 from __future__ import annotations
@@ -43,8 +49,23 @@ def _build_model(name: str, scale: int, seed: int = 0):
 
 
 def _resolution(text: str):
-    w, h = text.lower().split("x")
-    return int(h), int(w)
+    """Parse ``WxH`` (e.g. ``1920x1080``) to ``(h, w)``; argparse-friendly."""
+    parts = text.lower().split("x")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected WxH (e.g. 1920x1080), got {text!r}"
+        )
+    try:
+        w, h = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"resolution components must be integers, got {text!r}"
+        ) from None
+    if w <= 0 or h <= 0:
+        raise argparse.ArgumentTypeError(
+            f"resolution components must be positive, got {text!r}"
+        )
+    return h, w
 
 
 # ---------------------------------------------------------------------- #
@@ -152,7 +173,7 @@ def cmd_collapse(args: argparse.Namespace) -> int:
 def cmd_estimate(args: argparse.Namespace) -> int:
     from .hw import ETHOS_N78_4TOPS, compare_models, fsrcnn_graph, sesr_hw_graph
 
-    h, w = _resolution(args.resolution)
+    h, w = args.resolution
     graphs = {
         "FSRCNN": fsrcnn_graph(args.scale, h, w),
         "SESR-M3": sesr_hw_graph(16, 3, args.scale, h, w),
@@ -162,7 +183,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         "SESR-XL": sesr_hw_graph(32, 11, args.scale, h, w),
     }
     tile = (args.tile, args.tile) if args.tile else None
-    print(f"Simulated Ethos-N78 (4 TOP/s), {args.resolution} x{args.scale}")
+    print(f"Simulated Ethos-N78 (4 TOP/s), {w}x{h} x{args.scale}")
     print(compare_models(graphs, ETHOS_N78_4TOPS, tile=tile))
     return 0
 
@@ -193,6 +214,42 @@ def cmd_nas(args: argparse.Namespace) -> int:
     print(f"found: {result.genotype.describe()}")
     print(f"simulated latency @200x200: {lat:.3f} ms "
           f"(manual SESR-M{args.slots}: {lat_base:.3f} ms)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+
+    registry = ModelRegistry(seed=args.seed)
+    key = ModelKey(
+        name=args.model, scale=args.scale, ckpt=args.ckpt,
+        precision=args.precision,
+    )
+    try:
+        engine = InferenceEngine(
+            registry, key,
+            workers=args.workers,
+            tile=args.tile,
+            microbatch=args.microbatch,
+            cache_size=args.cache_size,
+            max_pending=args.queue_size,
+            default_timeout=args.timeout,
+        )
+    except KeyError as exc:
+        print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    server = make_server(engine, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving {args.model} x{args.scale} ({args.precision}) "
+          f"on http://{host}:{port} — {args.workers} workers, "
+          f"tile {args.tile}, cache {args.cache_size}")
+    print("endpoints: POST /upscale  GET /healthz  GET /stats  (Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.close()
     return 0
 
 
@@ -247,10 +304,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_collapse)
 
     p = sub.add_parser("estimate", help="simulate NPU performance (Table 3)")
-    p.add_argument("--resolution", default="1920x1080", help="WxH input")
+    p.add_argument("--resolution", type=_resolution, default="1920x1080",
+                   help="WxH input")
     p.add_argument("--scale", type=int, default=2, choices=(2, 4))
     p.add_argument("--tile", type=int, default=0)
     p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("serve", help="run the HTTP super-resolution server")
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="inference worker threads")
+    p.add_argument("--tile", type=int, default=96,
+                   help="LR tile size fanned across workers")
+    p.add_argument("--precision", choices=("fp32", "int8"), default="fp32",
+                   help="deployed arithmetic (int8 = weights-only PTQ)")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="LRU output-cache entries (0 disables)")
+    p.add_argument("--queue-size", type=int, default=32,
+                   help="max in-flight requests before 503s")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--microbatch", action="store_true",
+                   help="batch same-shape tiles through one conv call "
+                        "(faster; ~1-ulp divergence from exact mode)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("nas", help="run a small hardware-aware DNAS")
     p.add_argument("--scale", type=int, default=2, choices=(2, 4))

@@ -17,7 +17,14 @@ from .synthetic import (
     generate_image,
 )
 from .folder import ImageFolderDataset
-from .io import load_image, read_netpbm, save_image, write_netpbm
+from .io import (
+    decode_netpbm,
+    encode_netpbm,
+    load_image,
+    read_netpbm,
+    save_image,
+    write_netpbm,
+)
 from .pipeline import PatchSampler, from_batch, to_batch
 
 __all__ = [
@@ -36,6 +43,8 @@ __all__ = [
     "benchmark_suites",
     "generate_image",
     "ImageFolderDataset",
+    "decode_netpbm",
+    "encode_netpbm",
     "load_image",
     "read_netpbm",
     "save_image",

@@ -47,10 +47,13 @@ def _read_header(data: bytes) -> Tuple[bytes, int, int, int, int]:
     return magic, int(width), int(height), int(maxval), pos
 
 
-def read_netpbm(path: str) -> np.ndarray:
-    """Read a PGM/PPM file to float32 in [0, 1] ((H, W) or (H, W, 3))."""
-    with open(path, "rb") as fh:
-        data = fh.read()
+def decode_netpbm(data: bytes) -> np.ndarray:
+    """Decode PGM/PPM bytes to float32 in [0, 1] ((H, W) or (H, W, 3)).
+
+    The bytes-level counterpart of :func:`read_netpbm`, used where images
+    arrive over the wire rather than from disk (e.g. the
+    ``repro.serve`` HTTP ``/upscale`` endpoint).
+    """
     magic, width, height, maxval, offset = _read_header(data)
     kind, binary = _MAGIC_TO_KIND[magic]
     channels = 3 if kind == "ppm" else 1
@@ -71,8 +74,19 @@ def read_netpbm(path: str) -> np.ndarray:
     return img[..., 0] if channels == 1 else img
 
 
-def write_netpbm(path: str, img: np.ndarray, maxval: int = 255) -> None:
-    """Write float [0, 1] image as binary PGM (2-D) or PPM (3-D)."""
+def read_netpbm(path: str) -> np.ndarray:
+    """Read a PGM/PPM file to float32 in [0, 1] ((H, W) or (H, W, 3))."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return decode_netpbm(data)
+
+
+def encode_netpbm(img: np.ndarray, maxval: int = 255) -> bytes:
+    """Encode a float [0, 1] image as binary PGM (2-D) or PPM (3-D) bytes.
+
+    Byte-for-byte identical to what :func:`write_netpbm` puts on disk, so a
+    served response can be compared bitwise against a CLI-written file.
+    """
     img = np.asarray(img, dtype=np.float64)
     if img.ndim == 2:
         magic, channels = b"P5", 1
@@ -86,9 +100,13 @@ def write_netpbm(path: str, img: np.ndarray, maxval: int = 255) -> None:
     quantised = np.clip(np.round(img * maxval), 0, maxval)
     dtype = np.dtype(">u2") if maxval > 255 else np.uint8
     payload = quantised.astype(dtype).tobytes()
+    return magic + b"\n%d %d\n%d\n" % (w, h, maxval) + payload
+
+
+def write_netpbm(path: str, img: np.ndarray, maxval: int = 255) -> None:
+    """Write float [0, 1] image as binary PGM (2-D) or PPM (3-D)."""
     with open(path, "wb") as fh:
-        fh.write(magic + b"\n%d %d\n%d\n" % (w, h, maxval))
-        fh.write(payload)
+        fh.write(encode_netpbm(img, maxval))
 
 
 # Friendlier aliases.

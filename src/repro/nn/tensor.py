@@ -20,6 +20,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,26 +29,26 @@ DEFAULT_DTYPE = np.float32
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_grad_enabled = True
+# Grad mode is per-thread so inference threads (e.g. the repro.serve worker
+# pool) can enter/exit no_grad without racing a training thread's tape.
+_grad_state = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = is_grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _grad_enabled
+    """Return whether operations currently record gradients (per thread)."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -166,7 +167,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op result, wiring the tape if gradients are enabled."""
-        req = _grad_enabled and any(p.requires_grad for p in parents)
+        req = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=req, dtype=data.dtype)
         if req:
             out._parents = tuple(parents)

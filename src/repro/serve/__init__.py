@@ -1,0 +1,47 @@
+"""``repro.serve`` — batched, cached, multi-worker SR inference serving.
+
+The deployment pipeline the paper's efficiency story points at: collapsed
+SESR networks loaded once (:mod:`~repro.serve.registry`), requests tiled
+and fanned across a worker pool with optional same-shape micro-batching
+(:mod:`~repro.serve.engine`), repeated inputs answered from an LRU output
+cache (:mod:`~repro.serve.cache`), everything measured
+(:mod:`~repro.serve.telemetry`) and exposed over a stdlib HTTP server
+(:mod:`~repro.serve.http`).  Front-end: ``python -m repro.cli serve``.
+"""
+
+from .cache import LRUCache, array_digest
+from .engine import (
+    EngineClosed,
+    EngineError,
+    EngineOverloaded,
+    InferenceEngine,
+    RequestTimeout,
+    plan_tiles,
+    predict_batch,
+)
+from .http import SRRequestHandler, SRServer, make_server, upscale_array
+from .registry import ModelKey, ModelRegistry, build_training_model
+from .telemetry import Counter, Gauge, Histogram, Telemetry
+
+__all__ = [
+    "LRUCache",
+    "array_digest",
+    "EngineClosed",
+    "EngineError",
+    "EngineOverloaded",
+    "InferenceEngine",
+    "RequestTimeout",
+    "plan_tiles",
+    "predict_batch",
+    "SRRequestHandler",
+    "SRServer",
+    "make_server",
+    "upscale_array",
+    "ModelKey",
+    "ModelRegistry",
+    "build_training_model",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+]

@@ -1,0 +1,91 @@
+"""LRU output cache for served super-resolution results.
+
+SR serving traffic is heavy-tailed: thumbnails, logos, and popular frames
+recur, and a collapsed-SESR forward pass — cheap as it is — still costs
+orders of magnitude more than a dict lookup.  The cache keys on the
+**content digest** of the input plus the full model key, so two requests
+for the same pixels through the same (checkpoint, precision) pipeline share
+one computation while a different checkpoint or precision misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+
+def array_digest(img: np.ndarray) -> str:
+    """Content digest of an image: sha256 over shape, dtype and raw bytes."""
+    img = np.ascontiguousarray(img)
+    h = hashlib.sha256()
+    h.update(str(img.shape).encode())
+    h.update(str(img.dtype).encode())
+    h.update(img.tobytes())
+    return h.hexdigest()
+
+
+class LRUCache:
+    """Thread-safe least-recently-used cache with hit/miss accounting.
+
+    ``capacity`` counts entries; ``capacity == 0`` disables caching (every
+    lookup misses, nothing is stored) so callers don't need a separate
+    code path.  Stored and returned arrays are copies: a caller mutating
+    its response must not poison later hits.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._store: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key].copy()
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self._store[key] = value.copy()
+                return
+            self._store[key] = value.copy()
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,382 @@
+"""Batched, multi-worker tile inference engine (the serving hot path).
+
+A request is one LR Y-channel image.  The engine splits it into halo-padded
+tiles exactly like :func:`repro.deploy.tiled.tiled_upscale` (same tile
+planner, same :func:`~repro.deploy.tiled.receptive_radius` halo default),
+fans the tiles out across a thread worker pool, and stitches the upscaled
+cores back into the response — so a single 1080p frame saturates every
+worker instead of serialising behind one thread.  NumPy releases the GIL
+inside the im2col matmuls, which is where collapsed-SESR inference spends
+its time, so plain threads give real parallelism without pickling images
+across processes.
+
+Two execution modes per tile group:
+
+* **exact** (default): each tile runs through
+  :func:`repro.train.predict_image`, the same call the CLI uses — output is
+  bit-identical to ``tiled_upscale`` at the same tile/halo, and to
+  full-frame inference whenever one tile covers the frame.
+* **micro-batched** (``microbatch=True``): same-shape tiles are stacked on
+  the batch axis and run through a *single* im2col convolution call per
+  layer.  Fewer Python round-trips and larger matmuls buy throughput at the
+  cost of bit-exactness (BLAS may reassociate across batch layouts; results
+  agree to ~1 ulp).
+
+Requests are admitted through a bounded slot pool (load-shedding beats
+unbounded queueing), carry a deadline (:class:`RequestTimeout`), and
+:meth:`InferenceEngine.shutdown` drains workers gracefully.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..deploy.tiled import receptive_radius
+from ..nn import Module, Tensor, no_grad
+from ..train import predict_image
+from .cache import LRUCache, array_digest
+from .registry import ModelKey, ModelRegistry
+from .telemetry import Telemetry
+
+
+class EngineError(RuntimeError):
+    """Base class for serving failures."""
+
+
+class EngineClosed(EngineError):
+    """The engine is shut down and no longer accepts requests."""
+
+
+class EngineOverloaded(EngineError):
+    """All request slots are busy; the caller should shed or retry."""
+
+
+class RequestTimeout(EngineError):
+    """The request missed its deadline; remaining tiles were cancelled."""
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile: output core ``[y0:y1, x0:x1]`` + halo window in LR coords."""
+
+    y0: int
+    y1: int
+    x0: int
+    x1: int
+    hy0: int
+    hy1: int
+    hx0: int
+    hx1: int
+
+    @property
+    def halo_shape(self) -> Tuple[int, int]:
+        return (self.hy1 - self.hy0, self.hx1 - self.hx0)
+
+
+def plan_tiles(
+    h: int, w: int, tile: Tuple[int, int], halo: int
+) -> List[TileSpec]:
+    """Tile grid identical to :func:`repro.deploy.tiled.tiled_upscale`."""
+    th, tw = tile
+    if th <= 0 or tw <= 0:
+        raise ValueError("tile dimensions must be positive")
+    specs = []
+    for y0 in range(0, h, th):
+        for x0 in range(0, w, tw):
+            y1, x1 = min(y0 + th, h), min(x0 + tw, w)
+            specs.append(TileSpec(
+                y0, y1, x0, x1,
+                max(y0 - halo, 0), min(y1 + halo, h),
+                max(x0 - halo, 0), min(x1 + halo, w),
+            ))
+    return specs
+
+
+def predict_batch(model: Module, patches: np.ndarray) -> np.ndarray:
+    """Run a ``(N, H, W, 1)`` stack through one forward pass per layer.
+
+    The batch axis rides through the same im2col ``conv2d`` the single-image
+    path uses — one matmul covers all N tiles, which is the micro-batching
+    win.  Returns ``(N, sH, sW)`` clipped to [0, 1] like ``predict_image``.
+    """
+    model.eval()
+    with no_grad():
+        out = model(Tensor(patches)).data
+    return np.clip(out[..., 0], 0.0, 1.0)
+
+
+class _Request:
+    """In-flight request state shared between the caller and the workers."""
+
+    def __init__(self, lr: np.ndarray, scale: int) -> None:
+        self.lr = lr
+        self.out = np.zeros(
+            (lr.shape[0] * scale, lr.shape[1] * scale), dtype=np.float32
+        )
+        self.pending = 0
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+
+    def finish_jobs(self, n: int) -> None:
+        with self._lock:
+            self.pending -= n
+            if self.pending <= 0:
+                self.done.set()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = exc
+            self.cancelled = True
+
+
+class InferenceEngine:
+    """Queue → worker pool → stitched response, with cache and telemetry.
+
+    Parameters
+    ----------
+    registry, key:
+        Where the deployable network comes from; the model is resolved
+        eagerly so a bad name/checkpoint fails at construction, not on the
+        first request.
+    workers:
+        Worker threads sharing the tile queue (≥ 1).
+    tile:
+        Core tile size in LR pixels (int or ``(th, tw)``).
+    halo:
+        Context pixels per tile; defaults to the model's receptive radius,
+        which makes tiling exact.
+    microbatch, max_batch:
+        Enable same-shape tile micro-batching, and the largest stack fed to
+        one forward pass.
+    cache_size:
+        LRU entries for finished outputs (0 disables).
+    max_pending:
+        Bounded request-slot pool; admission beyond it raises
+        :class:`EngineOverloaded`.
+    default_timeout:
+        Per-request deadline in seconds when the caller passes none.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        key: ModelKey,
+        workers: int = 4,
+        tile: Union[int, Tuple[int, int]] = 96,
+        halo: Optional[int] = None,
+        microbatch: bool = False,
+        max_batch: int = 8,
+        cache_size: int = 128,
+        max_pending: int = 32,
+        default_timeout: float = 30.0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.registry = registry
+        self.key = key
+        self.model = registry.get(key)
+        self.scale = key.scale
+        self.tile = (tile, tile) if isinstance(tile, int) else tuple(tile)
+        self.halo = receptive_radius(self.model) if halo is None else halo
+        self.microbatch = microbatch
+        self.max_batch = max_batch
+        self.default_timeout = default_timeout
+        self.cache = LRUCache(cache_size)
+        self.telemetry = telemetry or Telemetry()
+
+        self._tasks: "queue.Queue" = queue.Queue()
+        self._slots = threading.Semaphore(max_pending)
+        self._closed = False
+        self._state_lock = threading.Lock()
+        self._queue_depth = self.telemetry.gauge("engine.queue_depth")
+        self._inflight = self.telemetry.gauge("engine.inflight_requests")
+        self._latency = self.telemetry.histogram("engine.request_latency_ms")
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"sr-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def upscale(
+        self, lr_img: np.ndarray, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Super-resolve one (H, W) Y image; blocks until done or deadline."""
+        if self._closed:
+            raise EngineClosed("engine is shut down")
+        lr_img = np.asarray(lr_img, dtype=np.float32)
+        if lr_img.ndim != 2:
+            raise ValueError(f"expected a 2-D Y image, got shape {lr_img.shape}")
+        timeout = self.default_timeout if timeout is None else timeout
+        self.telemetry.counter("engine.requests_total").inc()
+
+        cache_key = (self.key, array_digest(lr_img))
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            self.telemetry.counter("engine.cache_hits").inc()
+            return cached
+        self.telemetry.counter("engine.cache_misses").inc()
+
+        if not self._slots.acquire(blocking=False):
+            self.telemetry.counter("engine.requests_overloaded").inc()
+            raise EngineOverloaded("all request slots busy")
+        start = time.perf_counter()
+        self._inflight.inc()
+        try:
+            request = self._submit(lr_img)
+            if not request.done.wait(timeout):
+                request.cancelled = True
+                self.telemetry.counter("engine.requests_timeout").inc()
+                raise RequestTimeout(
+                    f"request missed its {timeout:.3f}s deadline"
+                )
+            if request.error is not None:
+                self.telemetry.counter("engine.requests_error").inc()
+                raise EngineError(
+                    f"worker failed: {request.error!r}"
+                ) from request.error
+        finally:
+            self._inflight.dec()
+            self._slots.release()
+        self._latency.observe((time.perf_counter() - start) * 1e3)
+        self.telemetry.counter("engine.requests_ok").inc()
+        self.cache.put(cache_key, request.out)
+        return request.out
+
+    def _submit(self, lr_img: np.ndarray) -> _Request:
+        h, w = lr_img.shape
+        specs = plan_tiles(h, w, self.tile, self.halo)
+        request = _Request(lr_img, self.scale)
+        jobs = self._group(specs)
+        request.pending = len(jobs)
+        for job in jobs:
+            self._tasks.put((request, job))
+            self._queue_depth.inc()
+        return request
+
+    def _group(self, specs: Sequence[TileSpec]) -> List[List[TileSpec]]:
+        """Group tiles into jobs: singletons, or same-shape micro-batches."""
+        if not self.microbatch:
+            return [[s] for s in specs]
+        by_shape: Dict[Tuple[int, int], List[TileSpec]] = {}
+        for s in specs:
+            by_shape.setdefault(s.halo_shape, []).append(s)
+        jobs = []
+        for group in by_shape.values():
+            for i in range(0, len(group), self.max_batch):
+                jobs.append(group[i : i + self.max_batch])
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                self._tasks.task_done()
+                return
+            self._queue_depth.dec()
+            request, specs = item
+            try:
+                if not request.cancelled:
+                    self._run_job(request, specs)
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                request.fail(exc)
+            finally:
+                request.finish_jobs(len(specs))
+                self._tasks.task_done()
+
+    def _run_job(self, request: _Request, specs: List[TileSpec]) -> None:
+        lr, s = request.lr, self.scale
+        if len(specs) > 1:
+            patches = np.stack(
+                [lr[t.hy0 : t.hy1, t.hx0 : t.hx1] for t in specs]
+            )[..., None]
+            outs = predict_batch(self.model, patches)
+            self.telemetry.counter("engine.microbatches").inc()
+        else:
+            t = specs[0]
+            outs = [predict_image(self.model, lr[t.hy0 : t.hy1, t.hx0 : t.hx1])]
+        self.telemetry.counter("engine.tiles").inc(len(specs))
+        for t, sr in zip(specs, outs):
+            cy0, cx0 = (t.y0 - t.hy0) * s, (t.x0 - t.hx0) * s
+            cy1 = cy0 + (t.y1 - t.y0) * s
+            cx1 = cx0 + (t.x1 - t.x0) * s
+            request.out[t.y0 * s : t.y1 * s, t.x0 * s : t.x1 * s] = sr[
+                cy0:cy1, cx0:cx1
+            ]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests and stop workers.
+
+        ``wait=True`` lets queued jobs finish first (sentinels sit behind
+        them in the FIFO queue); ``wait=False`` cancels whatever has not
+        started yet.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not wait:
+            try:
+                while True:
+                    request, specs = self._tasks.get_nowait()
+                    self._queue_depth.dec()
+                    request.fail(EngineClosed("engine shut down"))
+                    request.finish_jobs(len(specs))
+                    self._tasks.task_done()
+            except queue.Empty:
+                pass
+        for _ in self._workers:
+            self._tasks.put(None)
+        for t in self._workers:
+            t.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def stats(self) -> Dict[str, object]:
+        """Everything ``/stats`` reports: telemetry + cache + registry."""
+        snap = self.telemetry.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["registry"] = self.registry.stats()
+        snap["config"] = {
+            "model": self.key.name,
+            "scale": self.key.scale,
+            "precision": self.key.precision,
+            "workers": len(self._workers),
+            "tile": list(self.tile),
+            "halo": self.halo,
+            "microbatch": self.microbatch,
+        }
+        return snap

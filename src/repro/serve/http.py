@@ -1,0 +1,174 @@
+"""Stdlib-only HTTP front-end over the inference engine.
+
+Endpoints
+---------
+``POST /upscale``
+    Body: a binary/ASCII PGM or PPM image.  Response: the upscaled image in
+    binary PGM (grey input) or PPM (colour input).  Colour inputs follow
+    the paper's protocol exactly as ``repro.cli upscale`` does — the engine
+    super-resolves the Y channel, chroma is bicubic-upscaled — so the
+    response bytes are bit-identical to the CLI's output file.
+``GET /healthz``
+    Liveness + model identity (JSON).
+``GET /stats``
+    Full :meth:`repro.serve.InferenceEngine.stats` snapshot (JSON):
+    request counters, latency percentiles, queue depth, cache accounting.
+
+Built on :class:`http.server.ThreadingHTTPServer`: one thread per
+connection does the (cheap) parse/encode work and blocks on the engine,
+whose bounded slot pool is the real admission control.  Failure mapping:
+bad image → 400, engine overloaded → 503, deadline missed → 504,
+worker error → 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..datasets import (
+    decode_netpbm,
+    encode_netpbm,
+    rgb_to_ycbcr,
+    ycbcr_to_rgb,
+)
+from ..datasets.degradation import bicubic_upscale
+from .engine import (
+    EngineClosed,
+    EngineOverloaded,
+    InferenceEngine,
+    RequestTimeout,
+)
+
+MAX_BODY_BYTES = 64 * 1024 * 1024  # 8K RGB16 fits with headroom
+
+
+def upscale_array(engine: InferenceEngine, img: np.ndarray,
+                  timeout: Optional[float] = None) -> np.ndarray:
+    """Upscale a decoded image, colour-handling like ``cmd_upscale``."""
+    if img.ndim == 2:
+        return engine.upscale(img, timeout=timeout)
+    ycbcr = rgb_to_ycbcr(img)
+    y_sr = engine.upscale(np.ascontiguousarray(ycbcr[..., 0]), timeout=timeout)
+    cb = bicubic_upscale(ycbcr[..., 1], engine.scale)
+    cr = bicubic_upscale(ycbcr[..., 2], engine.scale)
+    return ycbcr_to_rgb(np.stack([y_sr, cb, cr], axis=2))
+
+
+class SRRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's engine; speaks netpbm and JSON."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/healthz":
+            key = self.engine.key
+            self._send_json(200, {
+                "status": "ok" if not self.engine.closed else "shutting-down",
+                "model": key.name,
+                "scale": key.scale,
+                "precision": key.precision,
+            })
+        elif self.path == "/stats":
+            self._send_json(200, self.engine.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path != "/upscale":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized body"})
+            return
+        body = self.rfile.read(length)
+        try:
+            img = decode_netpbm(body)
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad netpbm payload: {exc}"})
+            return
+        try:
+            out = upscale_array(self.engine, img)
+        except (EngineOverloaded, EngineClosed) as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except RequestTimeout as exc:
+            self._send_json(504, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
+            self._send_json(500, {"error": f"inference failed: {exc}"})
+            return
+        payload = encode_netpbm(out)
+        self._send_bytes(200, payload, "application/octet-stream")
+
+    # ------------------------------------------------------------------ #
+    def _send_bytes(self, code: int, payload: bytes, ctype: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, code: int, obj: dict) -> None:
+        self._send_bytes(
+            code, json.dumps(obj, indent=2).encode() + b"\n",
+            "application/json",
+        )
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+
+class SRServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`InferenceEngine`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        address: Tuple[str, int] = ("127.0.0.1", 8000),
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, SRRequestHandler)
+        self.engine = engine
+        self.verbose = verbose
+        self._serving = False
+
+    def serve_forever(self, *args, **kwargs) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(*args, **kwargs)
+        finally:
+            self._serving = False
+
+    def close(self) -> None:
+        """Stop the listener and drain the engine (graceful shutdown)."""
+        if self._serving:
+            self.shutdown()  # unblocks serve_forever (wherever it runs)
+        self.server_close()
+        self.engine.shutdown()
+
+
+def make_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = False,
+) -> SRServer:
+    """Bind an :class:`SRServer`; ``port=0`` picks an ephemeral port."""
+    return SRServer(engine, (host, port), verbose=verbose)

@@ -1,0 +1,127 @@
+"""Model registry: lazy load → collapse → (optional) quantize → memoize.
+
+The registry is the serving-side counterpart of the paper's deploy story:
+training artifacts are *expanded* SESR checkpoints, but what a server must
+run is the collapsed inference network (Fig. 2(d)), optionally int8-
+quantized for NPU parity.  Collapse is exact but not free, so the registry
+performs it **exactly once** per :class:`ModelKey` — ``(name, scale, ckpt,
+precision)`` — under a lock, and memoizes the resulting network for every
+later request, worker, and engine to share (collapsed nets are stateless at
+inference time, so sharing across threads is safe).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .. import zoo
+from ..nn import Module, load_state
+
+PRECISIONS = ("fp32", "int8")
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of one deployable network variant.
+
+    ``name`` accepts both zoo names (``"SESR-M5"``, ``"FSRCNN"``) and the
+    CLI short forms (``"M5"``, ``"XL"``).  ``ckpt`` is a path to an
+    expanded-checkpoint ``.npz`` (empty = paper initialisation), and
+    ``precision`` selects the deployed arithmetic: ``"fp32"`` or ``"int8"``
+    (weights-only post-training quantization via
+    :func:`repro.deploy.quantize_sesr`).
+    """
+
+    name: str = "M5"
+    scale: int = 2
+    ckpt: str = ""
+    precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; know {PRECISIONS}"
+            )
+
+
+def build_training_model(name: str, scale: int, seed: int = 0) -> Module:
+    """Instantiate the expanded (training-time) network for ``name``.
+
+    Resolution goes through the zoo registry so serving names stay in sync
+    with the paper's tables; CLI short forms are expanded to ``SESR-*``.
+    """
+    for candidate in (name, name.upper(), f"SESR-{name.upper()}"):
+        entry = zoo.ZOO.get(candidate)
+        if entry is not None and entry.factory is not None:
+            return entry.factory(scale=scale, seed=seed)
+    raise KeyError(
+        f"unknown model {name!r}; deployable zoo entries: "
+        f"{zoo.factory_names()}"
+    )
+
+
+class ModelRegistry:
+    """Thread-safe memoizing loader of collapsed inference networks."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._models: Dict[ModelKey, Module] = {}
+        self._lock = threading.Lock()
+        self._collapse_counts: Dict[ModelKey, int] = {}
+
+    def get(self, key: ModelKey) -> Module:
+        """Return the deployable network for ``key``, building it once.
+
+        The build (load → collapse → quantize) runs under the registry
+        lock: concurrent first requests for the same key block instead of
+        collapsing twice.
+        """
+        model = self._models.get(key)
+        if model is not None:
+            return model
+        with self._lock:
+            if key not in self._models:
+                self._models[key] = self._build(key)
+            return self._models[key]
+
+    def _build(self, key: ModelKey) -> Module:
+        trained = build_training_model(key.name, key.scale, self.seed)
+        if key.ckpt:
+            load_state(trained, key.ckpt)
+        if hasattr(trained, "collapse"):
+            deployed = trained.collapse()
+            self._collapse_counts[key] = self._collapse_counts.get(key, 0) + 1
+        else:
+            # FSRCNN has no linear blocks to collapse; deploy it as-is.
+            deployed = trained
+        if key.precision == "int8":
+            from ..deploy import quantize_sesr
+
+            deployed = quantize_sesr(deployed)
+        deployed.eval()
+        return deployed
+
+    def collapse_count(self, key: ModelKey) -> int:
+        """How many times ``key`` was collapsed (tests pin this to <= 1)."""
+        return self._collapse_counts.get(key, 0)
+
+    def loaded_keys(self) -> list:
+        return sorted(self._models, key=lambda k: (k.name, k.scale, k.ckpt,
+                                                   k.precision))
+
+    def evict(self, key: ModelKey) -> bool:
+        """Drop a memoized network (e.g. after a checkpoint refresh)."""
+        with self._lock:
+            return self._models.pop(key, None) is not None
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "models_loaded": len(self._models),
+                "collapses": dict(
+                    (f"{k.name}:x{k.scale}:{k.precision}", v)
+                    for k, v in self._collapse_counts.items()
+                ),
+            }

@@ -1,0 +1,160 @@
+"""Serving metrics: counters, gauges, latency histograms.
+
+Instrumentation for :mod:`repro.serve` in the shape production metric
+systems expect (Prometheus-style counter/gauge/histogram triplet), but
+dependency-free and process-local.  Everything is thread-safe — the engine
+worker pool and the HTTP handler threads all write concurrently — and
+:meth:`Telemetry.snapshot` renders the whole registry as one plain dict,
+which is what the ``/stats`` endpoint serialises and what the tests and the
+throughput benchmark assert against.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Instantaneous level (queue depth, in-flight requests, ...)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Reservoir of observations with exact percentiles.
+
+    Keeps up to ``capacity`` samples; beyond that, each new observation
+    overwrites a slot chosen by a deterministic stride (uniform reservoir
+    without RNG state, so snapshots are reproducible).  Count/sum/min/max
+    are exact regardless of the reservoir size.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < self.capacity:
+                self._samples.append(value)
+            else:
+                self._samples[self._count % self.capacity] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (nearest-rank) over the retained samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class Telemetry:
+    """Named registry of counters/gauges/histograms with one-shot export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, capacity: Optional[int] = None) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(capacity or 4096)
+            return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Render every metric as a plain (JSON-serialisable) dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in counters.items()},
+            "gauges": {k: g.value for k, g in gauges.items()},
+            "histograms": {k: h.summary() for k, h in histograms.items()},
+        }

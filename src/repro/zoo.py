@@ -392,3 +392,8 @@ def get(name: str) -> ZooEntry:
 def modelled_entries() -> List[ZooEntry]:
     """Entries whose parameter/MAC columns we recompute from specs."""
     return [e for e in ZOO.values() if e.spec_fn is not None]
+
+
+def factory_names() -> List[str]:
+    """Names of entries that can be instantiated (and therefore served)."""
+    return sorted(e.name for e in ZOO.values() if e.factory is not None)

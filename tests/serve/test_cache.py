@@ -1,0 +1,85 @@
+"""LRU output-cache tests: hit/miss accounting, eviction, isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, array_digest
+
+
+class TestArrayDigest:
+    def test_digest_depends_on_content_shape_dtype(self):
+        a = np.arange(6, dtype=np.float32)
+        assert array_digest(a) == array_digest(a.copy())
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float64))
+        b = a.copy()
+        b[0] += 1
+        assert array_digest(a) != array_digest(b)
+
+    def test_digest_of_noncontiguous_view(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert array_digest(a[:, ::2]) == array_digest(a[:, ::2].copy())
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", np.ones(3))
+        assert np.array_equal(cache.get("a"), np.ones(3))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.ones(1))
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", np.full(1, 2.0))
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", np.ones(1))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+    def test_returned_arrays_are_isolated(self):
+        cache = LRUCache(capacity=2)
+        original = np.ones(3)
+        cache.put("a", original)
+        original[:] = 7.0  # caller mutates its array after storing
+        got = cache.get("a")
+        assert np.array_equal(got, np.ones(3))
+        got[:] = 9.0  # and after retrieving
+        assert np.array_equal(cache.get("a"), np.ones(3))
+
+    def test_concurrent_access_smoke(self):
+        cache = LRUCache(capacity=8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for i in range(200):
+                key = int(rng.integers(0, 16))
+                if rng.random() < 0.5:
+                    cache.put(key, np.full(2, key, dtype=np.float32))
+                else:
+                    got = cache.get(key)
+                    if got is not None:
+                        assert np.all(got == key)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8

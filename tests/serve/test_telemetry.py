@@ -1,0 +1,89 @@
+"""Telemetry tests: counters, gauges, histogram percentiles, snapshot."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import Counter, Gauge, Histogram, Telemetry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(3)
+        g.inc(2)
+        g.dec()
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_exact_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(100) == 100.0
+        assert h.mean == pytest.approx(50.5)
+
+    def test_empty_histogram_is_quiet(self):
+        h = Histogram()
+        assert h.percentile(95) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_reservoir_caps_memory_but_not_count(self):
+        h = Histogram(capacity=16)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.sum == pytest.approx(sum(range(1000)))
+        assert h.summary()["max"] == 999.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestTelemetry:
+    def test_named_metrics_are_singletons(self):
+        t = Telemetry()
+        assert t.counter("x") is t.counter("x")
+        assert t.gauge("y") is t.gauge("y")
+        assert t.histogram("z") is t.histogram("z")
+
+    def test_snapshot_is_json_serialisable(self):
+        t = Telemetry()
+        t.counter("requests").inc(3)
+        t.gauge("depth").set(2)
+        t.histogram("latency").observe(12.5)
+        snap = json.loads(json.dumps(t.snapshot()))
+        assert snap["counters"]["requests"] == 3
+        assert snap["gauges"]["depth"] == 2
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert snap["histograms"]["latency"]["p50"] == 12.5

@@ -15,12 +15,35 @@ class TestParser:
         sub = next(a for a in parser._actions
                    if isinstance(a, type(parser._actions[-1]))
                    and hasattr(a, "choices") and a.choices)
-        assert {"train", "eval", "upscale", "collapse", "estimate", "nas"} <= \
-            set(sub.choices)
+        assert {"train", "eval", "upscale", "collapse", "estimate", "nas",
+                "serve"} <= set(sub.choices)
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestResolutionParsing:
+    def test_valid_resolution(self):
+        args = build_parser().parse_args(
+            ["estimate", "--resolution", "640x360"])
+        assert args.resolution == (360, 640)
+
+    @pytest.mark.parametrize("bad", ["1920", "ax b", "1920x", "x1080",
+                                     "axb", "0x100", "-2x100", "1x2x3"])
+    def test_malformed_resolution_is_an_argparse_error(self, bad, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["estimate", "--resolution", bad])
+        assert err.value.code == 2  # argparse usage error, not a traceback
+        assert "resolution" in capsys.readouterr().err
+
+
+class TestServeErrors:
+    def test_unknown_model_is_a_clean_error(self, capsys):
+        assert main(["serve", "--model", "NOPE", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model 'NOPE'" in err
+        assert "SESR-M5" in err  # the error lists what *is* deployable
 
 
 class TestEstimate:
