@@ -18,6 +18,8 @@ Package layout
                     paper's reported numbers
 ``repro.serve``     batched, cached, multi-worker inference engine with an
                     HTTP front-end (``python -m repro.cli serve``)
+``repro.resilience`` fault tolerance: retry/backoff, circuit breaker,
+                    numeric guard, deterministic fault injection
 
 Quickstart
 ----------
@@ -36,6 +38,7 @@ from . import (
     metrics,
     nas,
     nn,
+    resilience,
     serve,
     theory,
     train,
@@ -54,6 +57,7 @@ __all__ = [
     "metrics",
     "nas",
     "nn",
+    "resilience",
     "serve",
     "theory",
     "train",

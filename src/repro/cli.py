@@ -217,8 +217,30 @@ def cmd_nas(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_shutdown_handlers() -> None:
+    """Route SIGINT/SIGTERM through KeyboardInterrupt for a clean drain.
+
+    ``cmd_serve`` catches the KeyboardInterrupt, closes the server (which
+    drains in-flight requests via ``engine.shutdown(wait=True)``), and
+    exits 0 — instead of a traceback on Ctrl-C or an instant kill on a
+    supervisor's SIGTERM.
+    """
+    import signal
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _handler)
+        except (ValueError, OSError):  # not the main thread / unsupported
+            pass
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    from .resilience import CircuitBreaker, RetryPolicy
     from .serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+    from .train import CheckpointCorrupt
 
     registry = ModelRegistry(seed=args.seed)
     key = ModelKey(
@@ -234,20 +256,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             max_pending=args.queue_size,
             default_timeout=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries),
+            breaker=CircuitBreaker(
+                failure_threshold=args.breaker_threshold,
+                cooldown=args.breaker_cooldown,
+                name=f"{args.model}:x{args.scale}:{args.precision}",
+            ),
+            degraded_mode=not args.no_degraded,
+            wedge_timeout=args.timeout * 4,
         )
-    except KeyError as exc:
+    except (KeyError, FileNotFoundError, CheckpointCorrupt) as exc:
         print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
         return 2
-    server = make_server(engine, args.host, args.port, verbose=args.verbose)
+    server = make_server(engine, args.host, args.port, verbose=args.verbose,
+                         max_body_bytes=args.max_body_bytes)
     host, port = server.server_address[:2]
     print(f"serving {args.model} x{args.scale} ({args.precision}) "
           f"on http://{host}:{port} — {args.workers} workers, "
-          f"tile {args.tile}, cache {args.cache_size}")
+          f"tile {args.tile}, cache {args.cache_size}, "
+          f"degraded mode {'off' if args.no_degraded else 'on'}")
     print("endpoints: POST /upscale  GET /healthz  GET /stats  (Ctrl-C stops)")
+    _install_shutdown_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down ...")
+        print("\nshutting down (draining in-flight requests) ...")
     finally:
         server.close()
     return 0
@@ -331,6 +364,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--microbatch", action="store_true",
                    help="batch same-shape tiles through one conv call "
                         "(faster; ~1-ulp divergence from exact mode)")
+    p.add_argument("--max-body-bytes", type=int, default=64 * 1024 * 1024,
+                   help="reject larger request bodies with HTTP 413 "
+                        "before reading them (default 64 MiB)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="attempts per tile job incl. the first "
+                        "(exponential backoff between them)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive request failures that open the "
+                        "circuit breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   help="seconds the breaker stays open before probing "
+                        "the model again")
+    p.add_argument("--no-degraded", action="store_true",
+                   help="fail requests instead of falling back to "
+                        "bicubic when the model path is unavailable")
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request")
     p.set_defaults(fn=cmd_serve)

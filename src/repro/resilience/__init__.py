@@ -1,0 +1,49 @@
+"""``repro.resilience`` — fault tolerance for serving and training.
+
+The primitives the rest of the system composes into "no request fails
+without a fallback, no training run dies without a recovery path":
+
+* :mod:`~repro.resilience.faults` — deterministic, seedable fault
+  injection (:class:`FaultInjector`) used by the chaos test suite to
+  prove the rest of this package actually works.
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`, bounded
+  exponential backoff with deterministic jitter, for transient tile
+  faults in the serving engine.
+* :mod:`~repro.resilience.breaker` — :class:`CircuitBreaker`
+  (closed → open → half-open) so a persistently failing model degrades
+  to the bicubic fallback instead of burning retries forever.
+* :mod:`~repro.resilience.guard` — :class:`NumericGuard`, the training
+  side: NaN/Inf and loss-spike detection with skip-step and
+  rollback-to-checkpoint escalation.
+
+Wiring lives in :mod:`repro.serve.engine` (retry/breaker/degraded mode,
+supervised worker pool) and :mod:`repro.train` (atomic checkpoints,
+auto-resume, rollback); behaviour contracts live in ``docs/robustness.md``
+and are enforced by ``tests/resilience/``.
+"""
+
+from .breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from .faults import FaultInjector, InjectedFault, WorkerDeath
+from .guard import GUARD_OK, GUARD_ROLLBACK, GUARD_SKIP, NumericGuard
+from .retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerDeath",
+    "GUARD_OK",
+    "GUARD_ROLLBACK",
+    "GUARD_SKIP",
+    "NumericGuard",
+    "RetryPolicy",
+    "call_with_retry",
+]

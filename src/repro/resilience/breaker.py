@@ -1,0 +1,168 @@
+"""Circuit breaker: stop hammering a failing model, probe for recovery.
+
+Classic three-state machine, one breaker per deployed model key:
+
+* **closed** — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them in a row trip the breaker open.
+* **open** — calls are refused (:meth:`CircuitBreaker.allow` returns
+  ``False``; the engine serves its degraded bicubic path instead) until
+  ``cooldown`` seconds elapse.
+* **half_open** — after the cooldown, up to ``half_open_max`` trial
+  calls are admitted.  One success closes the breaker; one failure
+  re-opens it and restarts the cooldown.
+
+Time comes from an injectable ``clock`` (default ``time.monotonic``) so
+tests can drive transitions without sleeping.  All methods are
+thread-safe, and ``on_transition(old, new)`` fires after the breaker lock
+is released — the engine uses it to keep telemetry counters and the state
+gauge current.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-model-key failure isolation with automatic recovery probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_max = half_open_max
+        self.name = name
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._transitions: Dict[str, int] = {
+            BREAKER_CLOSED: 0, BREAKER_OPEN: 0, BREAKER_HALF_OPEN: 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _transition(self, new: str) -> Optional[Callable[[], None]]:
+        """Switch state under the lock; return the deferred callback."""
+        old = self._state
+        if old == new:
+            return None
+        self._state = new
+        self._transitions[new] += 1
+        if new == BREAKER_OPEN:
+            self._opened_at = self._clock()
+        if new == BREAKER_HALF_OPEN:
+            self._half_open_inflight = 0
+        if new == BREAKER_CLOSED:
+            self._consecutive_failures = 0
+        cb = self._on_transition
+        if cb is None:
+            return None
+        return lambda: cb(old, new)
+
+    @staticmethod
+    def _fire(notify: Optional[Callable[[], None]]) -> None:
+        if notify is not None:
+            notify()
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """May a request hit the model right now?
+
+        Open breakers flip to half-open once the cooldown has elapsed;
+        half-open admits at most ``half_open_max`` in-flight trials.
+        """
+        notify = None
+        with self._lock:
+            if self._state == BREAKER_OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    notify = self._transition(BREAKER_HALF_OPEN)
+                else:
+                    return False
+            if self._state == BREAKER_HALF_OPEN:
+                if self._half_open_inflight >= self.half_open_max:
+                    allowed = False
+                else:
+                    self._half_open_inflight += 1
+                    allowed = True
+            else:
+                allowed = True
+        self._fire(notify)
+        return allowed
+
+    def record_success(self) -> None:
+        """A call that was allowed through completed cleanly."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                notify = self._transition(BREAKER_CLOSED)
+            else:
+                self._consecutive_failures = 0
+                notify = None
+        self._fire(notify)
+
+    def record_failure(self) -> None:
+        """A call that was allowed through failed."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                notify = self._transition(BREAKER_OPEN)
+            elif self._state == BREAKER_CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    notify = self._transition(BREAKER_OPEN)
+                else:
+                    notify = None
+            else:
+                notify = None
+        self._fire(notify)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def reset(self) -> None:
+        """Force the breaker closed (operator override)."""
+        with self._lock:
+            notify = self._transition(BREAKER_CLOSED)
+            self._consecutive_failures = 0
+        self._fire(notify)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-shaped view for ``/stats`` and the chaos assertions."""
+        with self._lock:
+            remaining = 0.0
+            if self._state == BREAKER_OPEN:
+                remaining = max(
+                    0.0, self.cooldown - (self._clock() - self._opened_at)
+                )
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown,
+                "cooldown_remaining_s": remaining,
+                "transitions": dict(self._transitions),
+            }

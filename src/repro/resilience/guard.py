@@ -1,0 +1,121 @@
+"""Numeric guard: keep a long training run alive through bad steps.
+
+A 480k-step run (the paper's full §5.1 protocol) will eventually see a
+poisoned batch, an fp32 overflow, or a divergent update.  Left alone, one
+NaN loss contaminates the ADAM moments and the weights within a step or
+two and the whole run is lost.  The guard sits between ``backward()`` and
+``optimizer.step()`` and classifies each step:
+
+* ``"ok"`` — finite loss/gradients, no spike: apply the update.
+* ``"skip"`` — NaN/Inf loss or gradient, or loss above
+  ``spike_factor ×`` the recent running mean: *don't* apply the update,
+  keep going.  The model and optimizer state stay untouched.
+* ``"rollback"`` — ``max_consecutive`` bad steps in a row: the run is
+  genuinely diverging; the trainer restores the last good checkpoint and
+  multiplies the learning rate by ``lr_decay``.
+
+Skipped losses are excluded from the running mean so a burst of spikes
+cannot drag the baseline up and mask later divergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+GUARD_OK = "ok"
+GUARD_SKIP = "skip"
+GUARD_ROLLBACK = "rollback"
+
+
+class NumericGuard:
+    """Classifies training steps as ok / skip / rollback.
+
+    Parameters
+    ----------
+    spike_factor:
+        A finite loss above ``spike_factor × mean(recent good losses)``
+        counts as bad (only once ``min_history`` good losses are seen).
+    window:
+        How many recent good losses form the spike baseline.
+    max_consecutive:
+        Bad steps in a row before signalling a rollback.
+    lr_decay:
+        Factor the trainer applies to the learning rate on rollback.
+    min_history:
+        Good losses required before spike detection arms.
+    """
+
+    def __init__(
+        self,
+        spike_factor: float = 10.0,
+        window: int = 20,
+        max_consecutive: int = 3,
+        lr_decay: float = 0.5,
+        min_history: int = 5,
+    ) -> None:
+        if spike_factor <= 1.0:
+            raise ValueError("spike_factor must be > 1")
+        if window < 1 or max_consecutive < 1 or min_history < 1:
+            raise ValueError("window/max_consecutive/min_history must be >= 1")
+        if not 0.0 < lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+        self.spike_factor = spike_factor
+        self.max_consecutive = max_consecutive
+        self.lr_decay = lr_decay
+        self.min_history = min_history
+        self._history: "deque[float]" = deque(maxlen=window)
+        self._consecutive = 0
+        self.ok_steps = 0
+        self.skipped_steps = 0
+        self.rollbacks_signalled = 0
+        self.last_reason = ""
+
+    # ------------------------------------------------------------------ #
+    def check(
+        self,
+        loss: float,
+        grads: Optional[Iterable[Optional[np.ndarray]]] = None,
+    ) -> str:
+        """Classify one step given its loss and (optionally) gradients."""
+        reason = ""
+        if not np.isfinite(loss):
+            reason = f"non-finite loss {loss!r}"
+        elif grads is not None:
+            for i, g in enumerate(grads):
+                if g is not None and not np.all(np.isfinite(g)):
+                    reason = f"non-finite gradient in parameter {i}"
+                    break
+        if not reason and len(self._history) >= self.min_history:
+            baseline = sum(self._history) / len(self._history)
+            if baseline > 0 and loss > self.spike_factor * baseline:
+                reason = (
+                    f"loss spike {loss:.4g} > "
+                    f"{self.spike_factor:g} x mean {baseline:.4g}"
+                )
+
+        if reason:
+            self.last_reason = reason
+            self.skipped_steps += 1
+            self._consecutive += 1
+            if self._consecutive >= self.max_consecutive:
+                self._consecutive = 0
+                self.rollbacks_signalled += 1
+                return GUARD_ROLLBACK
+            return GUARD_SKIP
+
+        self.ok_steps += 1
+        self._consecutive = 0
+        self._history.append(float(loss))
+        return GUARD_OK
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "ok_steps": self.ok_steps,
+            "skipped_steps": self.skipped_steps,
+            "rollbacks_signalled": self.rollbacks_signalled,
+            "consecutive_bad": self._consecutive,
+            "last_reason": self.last_reason,
+        }

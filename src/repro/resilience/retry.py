@@ -1,0 +1,93 @@
+"""Retry policy: bounded exponential backoff with deterministic jitter.
+
+The serving engine retries *transient* tile faults (a poisoned buffer, a
+spurious numerical error) before giving up; persistent faults exhaust the
+budget quickly and feed the circuit breaker instead.  Delays grow
+geometrically from ``base_delay`` and are capped at ``max_delay``; jitter
+subtracts a random fraction of each delay so synchronised retries from
+many workers decorrelate instead of stampeding together.
+
+Jitter draws are *supplied by the caller* (a ``u ∈ [0, 1)`` uniform, or a
+seeded ``random.Random``), never from global RNG state — policies are
+frozen value objects and the whole schedule stays reproducible under a
+fixed seed, which the chaos tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts to make and how long to wait between them.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    initial attempt plus up to two retries; ``max_attempts=1`` disables
+    retrying entirely.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, u: float = 0.0) -> float:
+        """Delay before retry number ``attempt`` (1-based failed attempt).
+
+        ``u`` is a uniform draw in ``[0, 1)``; the returned delay is the
+        capped geometric value scaled into ``[(1 - jitter)·d, d]``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if not 0.0 <= u < 1.0 and u != 0.0:
+            raise ValueError("jitter draw must be in [0, 1)")
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        return delay * (1.0 - self.jitter * u)
+
+    def rng(self) -> random.Random:
+        """A fresh seeded jitter RNG for this policy."""
+        return random.Random(self.seed)
+
+
+def call_with_retry(
+    fn: Callable,
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Run ``fn()`` under ``policy``; re-raise the last error when spent.
+
+    ``on_retry(attempt, exc)`` fires before each backoff sleep — the
+    engine uses it to bump its retry counter.  Exceptions outside
+    ``retry_on`` (notably :class:`~repro.resilience.faults.WorkerDeath`,
+    a ``BaseException``) propagate immediately.
+    """
+    rng = policy.rng() if rng is None else rng
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.backoff(attempt, rng.random()))

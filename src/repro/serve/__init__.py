@@ -11,37 +11,49 @@ cache (:mod:`~repro.serve.cache`), everything measured
 
 from .cache import LRUCache, array_digest
 from .engine import (
+    BreakerOpen,
     EngineClosed,
     EngineError,
     EngineOverloaded,
     InferenceEngine,
     RequestTimeout,
+    UpscaleResult,
     plan_tiles,
     predict_batch,
 )
-from .http import SRRequestHandler, SRServer, make_server, upscale_array
+from .http import (
+    SRRequestHandler,
+    SRServer,
+    make_server,
+    upscale_array,
+    upscale_array_ex,
+)
 from .registry import ModelKey, ModelRegistry, build_training_model
-from .telemetry import Counter, Gauge, Histogram, Telemetry
+from .telemetry import Counter, Gauge, Histogram, StateGauge, Telemetry
 
 __all__ = [
     "LRUCache",
     "array_digest",
+    "BreakerOpen",
     "EngineClosed",
     "EngineError",
     "EngineOverloaded",
     "InferenceEngine",
     "RequestTimeout",
+    "UpscaleResult",
     "plan_tiles",
     "predict_batch",
     "SRRequestHandler",
     "SRServer",
     "make_server",
     "upscale_array",
+    "upscale_array_ex",
     "ModelKey",
     "ModelRegistry",
     "build_training_model",
     "Counter",
     "Gauge",
     "Histogram",
+    "StateGauge",
     "Telemetry",
 ]

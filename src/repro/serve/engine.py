@@ -25,20 +25,44 @@ Two execution modes per tile group:
 Requests are admitted through a bounded slot pool (load-shedding beats
 unbounded queueing), carry a deadline (:class:`RequestTimeout`), and
 :meth:`InferenceEngine.shutdown` drains workers gracefully.
+
+Fault tolerance (see ``docs/robustness.md`` and ``tests/resilience/``):
+
+* Tile jobs retry transient failures under a
+  :class:`~repro.resilience.RetryPolicy` (exponential backoff, seeded
+  jitter) before the request is failed.
+* A per-model-key :class:`~repro.resilience.CircuitBreaker` trips after
+  consecutive request failures; while open, requests skip the model
+  entirely.
+* With ``degraded_mode=True`` a request that exhausts retries — or
+  arrives while the breaker is open — returns the bicubic-upscaled input
+  tagged ``degraded=True`` (:class:`UpscaleResult`) instead of raising;
+  identical bytes to :func:`repro.datasets.degradation.bicubic_upscale`.
+* A supervisor thread heartbeat-checks the worker pool: dead workers
+  (e.g. an injected :class:`~repro.resilience.WorkerDeath`) re-queue
+  their in-flight job and are respawned; workers busy past
+  ``wedge_timeout`` are retired and replaced so one stuck BLAS call
+  cannot eat a pool slot forever.
+* A seedable :class:`~repro.resilience.FaultInjector` hook fires before
+  every tile-job attempt, which is how the chaos suite drives all of the
+  above deterministically.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..datasets.degradation import bicubic_upscale
 from ..deploy.tiled import receptive_radius
 from ..nn import Module, Tensor, no_grad
+from ..resilience import CircuitBreaker, FaultInjector, RetryPolicy, WorkerDeath
 from ..train import predict_image
 from .cache import LRUCache, array_digest
 from .registry import ModelKey, ModelRegistry
@@ -61,6 +85,10 @@ class RequestTimeout(EngineError):
     """The request missed its deadline; remaining tiles were cancelled."""
 
 
+class BreakerOpen(EngineError):
+    """The circuit breaker is open and degraded mode is disabled."""
+
+
 @dataclass(frozen=True)
 class TileSpec:
     """One tile: output core ``[y0:y1, x0:x1]`` + halo window in LR coords."""
@@ -77,6 +105,21 @@ class TileSpec:
     @property
     def halo_shape(self) -> Tuple[int, int]:
         return (self.hy1 - self.hy0, self.hx1 - self.hx0)
+
+
+@dataclass
+class UpscaleResult:
+    """An upscaled image plus how it was produced.
+
+    ``degraded=True`` means the model path failed (retries exhausted or
+    breaker open) and ``image`` is the bicubic fallback — bit-identical
+    to ``bicubic_upscale(lr, scale)``; ``reason`` says why.
+    """
+
+    image: np.ndarray
+    degraded: bool = False
+    cached: bool = False
+    reason: str = ""
 
 
 def plan_tiles(
@@ -164,6 +207,24 @@ class InferenceEngine:
         :class:`EngineOverloaded`.
     default_timeout:
         Per-request deadline in seconds when the caller passes none.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for transient tile faults
+        (default: 3 attempts, 50 ms base backoff).
+    breaker:
+        :class:`~repro.resilience.CircuitBreaker` guarding this model key
+        (default: 5 consecutive failures, 30 s cooldown).
+    degraded_mode:
+        When ``True``, failed requests return the bicubic fallback tagged
+        ``degraded=True`` instead of raising; when ``False`` (default,
+        matching the pre-resilience API) failures raise
+        :class:`EngineError`/:class:`BreakerOpen`.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` fired before
+        every tile-job attempt (chaos testing).
+    supervise, supervise_interval, wedge_timeout:
+        Worker-pool supervision: every ``supervise_interval`` seconds dead
+        workers are respawned, and (when ``wedge_timeout`` is set) workers
+        stuck on one job longer than that are retired and replaced.
     """
 
     def __init__(
@@ -179,6 +240,13 @@ class InferenceEngine:
         max_pending: int = 32,
         default_timeout: float = 30.0,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        degraded_mode: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        supervise: bool = True,
+        supervise_interval: float = 0.2,
+        wedge_timeout: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -186,6 +254,8 @@ class InferenceEngine:
             raise ValueError("max_batch must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if supervise_interval <= 0:
+            raise ValueError("supervise_interval must be positive")
         self.registry = registry
         self.key = key
         self.model = registry.get(key)
@@ -197,6 +267,16 @@ class InferenceEngine:
         self.default_timeout = default_timeout
         self.cache = LRUCache(cache_size)
         self.telemetry = telemetry or Telemetry()
+        self.retry = retry or RetryPolicy()
+        self.degraded_mode = degraded_mode
+        self.fault_injector = fault_injector
+        breaker_name = f"{key.name}:x{key.scale}:{key.precision}"
+        self.breaker = breaker or CircuitBreaker(name=breaker_name)
+        if self.breaker._on_transition is None:
+            self.breaker._on_transition = self._on_breaker_transition
+        self._breaker_state = self.telemetry.state(
+            "engine.breaker_state", self.breaker.state
+        )
 
         self._tasks: "queue.Queue" = queue.Queue()
         self._slots = threading.Semaphore(max_pending)
@@ -205,14 +285,21 @@ class InferenceEngine:
         self._queue_depth = self.telemetry.gauge("engine.queue_depth")
         self._inflight = self.telemetry.gauge("engine.inflight_requests")
         self._latency = self.telemetry.histogram("engine.request_latency_ms")
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"sr-worker-{i}", daemon=True
+        self._retry_rng = random.Random(self.retry.seed)
+        self._rng_lock = threading.Lock()
+        self._workers_lock = threading.Lock()
+        self._worker_seq = 0
+        self._busy_since: Dict[str, float] = {}
+        self._retired: set = set()
+        self.supervise_interval = supervise_interval
+        self.wedge_timeout = wedge_timeout
+        self._workers = [self._spawn_worker() for _ in range(workers)]
+        self._supervisor: Optional[threading.Thread] = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervisor_loop, name="sr-supervisor", daemon=True
             )
-            for i in range(workers)
-        ]
-        for t in self._workers:
-            t.start()
+            self._supervisor.start()
 
     # ------------------------------------------------------------------ #
     # request path
@@ -221,6 +308,12 @@ class InferenceEngine:
         self, lr_img: np.ndarray, timeout: Optional[float] = None
     ) -> np.ndarray:
         """Super-resolve one (H, W) Y image; blocks until done or deadline."""
+        return self.upscale_ex(lr_img, timeout=timeout).image
+
+    def upscale_ex(
+        self, lr_img: np.ndarray, timeout: Optional[float] = None
+    ) -> UpscaleResult:
+        """Like :meth:`upscale` but reports degradation/caching metadata."""
         if self._closed:
             raise EngineClosed("engine is shut down")
         lr_img = np.asarray(lr_img, dtype=np.float32)
@@ -233,7 +326,7 @@ class InferenceEngine:
         cached = self.cache.get(cache_key)
         if cached is not None:
             self.telemetry.counter("engine.cache_hits").inc()
-            return cached
+            return UpscaleResult(cached, cached=True)
         self.telemetry.counter("engine.cache_misses").inc()
 
         if not self._slots.acquire(blocking=False):
@@ -242,25 +335,51 @@ class InferenceEngine:
         start = time.perf_counter()
         self._inflight.inc()
         try:
+            # Breaker check happens with the slot held so a half-open
+            # trial admitted here always reaches record_success/failure.
+            if not self.breaker.allow():
+                self.telemetry.counter("engine.breaker_short_circuits").inc()
+                return self._degrade(lr_img, "circuit breaker open")
             request = self._submit(lr_img)
             if not request.done.wait(timeout):
                 request.cancelled = True
                 self.telemetry.counter("engine.requests_timeout").inc()
+                self.breaker.record_failure()
                 raise RequestTimeout(
                     f"request missed its {timeout:.3f}s deadline"
                 )
             if request.error is not None:
                 self.telemetry.counter("engine.requests_error").inc()
+                self.breaker.record_failure()
+                if self.degraded_mode:
+                    return self._degrade(
+                        lr_img, f"retries exhausted: {request.error!r}"
+                    )
                 raise EngineError(
                     f"worker failed: {request.error!r}"
                 ) from request.error
         finally:
             self._inflight.dec()
             self._slots.release()
+        self.breaker.record_success()
         self._latency.observe((time.perf_counter() - start) * 1e3)
         self.telemetry.counter("engine.requests_ok").inc()
         self.cache.put(cache_key, request.out)
-        return request.out
+        return UpscaleResult(request.out)
+
+    def _degrade(self, lr_img: np.ndarray, reason: str) -> UpscaleResult:
+        """Bicubic fallback (or typed failure when degraded mode is off)."""
+        if not self.degraded_mode:
+            raise BreakerOpen(
+                f"model path unavailable ({reason}) and degraded mode is off"
+            )
+        self.telemetry.counter("engine.requests_degraded").inc()
+        out = np.clip(
+            bicubic_upscale(lr_img, self.scale), 0.0, 1.0
+        ).astype(np.float32)
+        # Degraded outputs are never cached: the model path should get a
+        # fresh chance (and real pixels) once it recovers.
+        return UpscaleResult(out, degraded=True, reason=reason)
 
     def _submit(self, lr_img: np.ndarray) -> _Request:
         h, w = lr_img.shape
@@ -289,7 +408,20 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     # worker side
     # ------------------------------------------------------------------ #
+    def _spawn_worker(self) -> threading.Thread:
+        # Callers serialise: the constructor runs alone, the supervisor
+        # holds ``_workers_lock``.
+        self._worker_seq += 1
+        t = threading.Thread(
+            target=self._worker_loop,
+            name=f"sr-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        t.start()
+        return t
+
     def _worker_loop(self) -> None:
+        name = threading.current_thread().name
         while True:
             item = self._tasks.get()
             if item is None:
@@ -297,16 +429,52 @@ class InferenceEngine:
                 return
             self._queue_depth.dec()
             request, specs = item
+            self._busy_since[name] = time.monotonic()
             try:
                 if not request.cancelled:
                     self._run_job(request, specs)
+            except WorkerDeath:
+                # Simulated kill -9: hand the job back to a live worker
+                # and let this thread die; the supervisor respawns it.
+                self._busy_since.pop(name, None)
+                self.telemetry.counter("engine.worker_deaths").inc()
+                if self._closed:
+                    request.fail(EngineClosed("engine shut down"))
+                    request.finish_jobs(len(specs))
+                else:
+                    self._tasks.put((request, specs))
+                    self._queue_depth.inc()
+                self._tasks.task_done()
+                return
             except BaseException as exc:  # noqa: BLE001 — reported to caller
                 request.fail(exc)
             finally:
-                request.finish_jobs(len(specs))
-                self._tasks.task_done()
+                self._busy_since.pop(name, None)
+            request.finish_jobs(len(specs))
+            self._tasks.task_done()
+            if name in self._retired:
+                return
 
     def _run_job(self, request: _Request, specs: List[TileSpec]) -> None:
+        """One tile job, with per-attempt fault injection and retries."""
+        attempts = self.retry.max_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.on_tile()
+                self._compute(request, specs)
+                return
+            except WorkerDeath:
+                raise
+            except Exception:
+                if attempt >= attempts or request.cancelled or self._closed:
+                    raise
+                self.telemetry.counter("engine.tile_retries").inc()
+                with self._rng_lock:
+                    u = self._retry_rng.random()
+                time.sleep(self.retry.backoff(attempt, u))
+
+    def _compute(self, request: _Request, specs: List[TileSpec]) -> None:
         lr, s = request.lr, self.scale
         if len(specs) > 1:
             patches = np.stack(
@@ -327,6 +495,39 @@ class InferenceEngine:
             ]
 
     # ------------------------------------------------------------------ #
+    # supervision
+    # ------------------------------------------------------------------ #
+    def _supervisor_loop(self) -> None:
+        """Heartbeat loop: respawn dead workers, retire wedged ones."""
+        while not self._closed:
+            time.sleep(self.supervise_interval)
+            if self._closed:
+                return
+            now = time.monotonic()
+            with self._workers_lock:
+                if self._closed:
+                    return
+                for i, t in enumerate(self._workers):
+                    if not t.is_alive():
+                        self._workers[i] = self._spawn_worker()
+                        self.telemetry.counter("engine.worker_respawns").inc()
+                        continue
+                    if self.wedge_timeout is None or t.name in self._retired:
+                        continue
+                    started = self._busy_since.get(t.name)
+                    if started is not None and now - started > self.wedge_timeout:
+                        # Python threads cannot be killed; retire it (it
+                        # exits after its current job) and staff a spare.
+                        self._retired.add(t.name)
+                        self._workers[i] = self._spawn_worker()
+                        self.telemetry.counter("engine.workers_wedged").inc()
+                        self.telemetry.counter("engine.worker_respawns").inc()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.telemetry.counter(f"engine.breaker_to_{new}").inc()
+        self._breaker_state.set(new)
+
+    # ------------------------------------------------------------------ #
     # lifecycle / introspection
     # ------------------------------------------------------------------ #
     def shutdown(self, wait: bool = True) -> None:
@@ -340,20 +541,28 @@ class InferenceEngine:
             if self._closed:
                 return
             self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=self.supervise_interval + 5.0)
         if not wait:
             try:
                 while True:
-                    request, specs = self._tasks.get_nowait()
+                    item = self._tasks.get_nowait()
+                    if item is None:
+                        self._tasks.task_done()
+                        continue
+                    request, specs = item
                     self._queue_depth.dec()
                     request.fail(EngineClosed("engine shut down"))
                     request.finish_jobs(len(specs))
                     self._tasks.task_done()
             except queue.Empty:
                 pass
-        for _ in self._workers:
+        with self._workers_lock:
+            workers = list(self._workers)
+        for _ in workers:
             self._tasks.put(None)
-        for t in self._workers:
-            t.join()
+        for t in workers:
+            t.join(timeout=30.0)
 
     @property
     def closed(self) -> bool:
@@ -370,6 +579,9 @@ class InferenceEngine:
         snap = self.telemetry.snapshot()
         snap["cache"] = self.cache.stats()
         snap["registry"] = self.registry.stats()
+        snap["breaker"] = self.breaker.snapshot()
+        if self.fault_injector is not None:
+            snap["fault_injector"] = self.fault_injector.stats()
         snap["config"] = {
             "model": self.key.name,
             "scale": self.key.scale,
@@ -378,5 +590,9 @@ class InferenceEngine:
             "tile": list(self.tile),
             "halo": self.halo,
             "microbatch": self.microbatch,
+            "retry_attempts": self.retry.max_attempts,
+            "degraded_mode": self.degraded_mode,
+            "supervised": self._supervisor is not None,
+            "wedge_timeout_s": self.wedge_timeout,
         }
         return snap

@@ -17,8 +17,12 @@ Endpoints
 Built on :class:`http.server.ThreadingHTTPServer`: one thread per
 connection does the (cheap) parse/encode work and blocks on the engine,
 whose bounded slot pool is the real admission control.  Failure mapping:
-bad image → 400, engine overloaded → 503, deadline missed → 504,
-worker error → 500.
+bad image → 400, oversized body → 413 (rejected *before* the body is
+read, so an unbounded upload cannot balloon memory), engine overloaded →
+503, deadline missed → 504, worker error → 500.  When the engine's
+degraded mode answers with the bicubic fallback the response carries
+``X-Degraded: true`` (it is ``false`` on healthy responses) so callers
+and load balancers can tell fallback pixels from model pixels.
 """
 
 from __future__ import annotations
@@ -41,21 +45,37 @@ from .engine import (
     EngineOverloaded,
     InferenceEngine,
     RequestTimeout,
+    UpscaleResult,
 )
 
 MAX_BODY_BYTES = 64 * 1024 * 1024  # 8K RGB16 fits with headroom
 
 
-def upscale_array(engine: InferenceEngine, img: np.ndarray,
-                  timeout: Optional[float] = None) -> np.ndarray:
-    """Upscale a decoded image, colour-handling like ``cmd_upscale``."""
+def upscale_array_ex(engine: InferenceEngine, img: np.ndarray,
+                     timeout: Optional[float] = None) -> UpscaleResult:
+    """Upscale a decoded image, colour-handling like ``cmd_upscale``.
+
+    Colour inputs follow the paper's protocol: the engine handles the Y
+    channel (including its retry/degraded machinery — the result is
+    tagged degraded whenever the Y path was), chroma is bicubic.
+    """
     if img.ndim == 2:
-        return engine.upscale(img, timeout=timeout)
+        return engine.upscale_ex(img, timeout=timeout)
     ycbcr = rgb_to_ycbcr(img)
-    y_sr = engine.upscale(np.ascontiguousarray(ycbcr[..., 0]), timeout=timeout)
+    y_res = engine.upscale_ex(
+        np.ascontiguousarray(ycbcr[..., 0]), timeout=timeout
+    )
     cb = bicubic_upscale(ycbcr[..., 1], engine.scale)
     cr = bicubic_upscale(ycbcr[..., 2], engine.scale)
-    return ycbcr_to_rgb(np.stack([y_sr, cb, cr], axis=2))
+    rgb = ycbcr_to_rgb(np.stack([y_res.image, cb, cr], axis=2))
+    return UpscaleResult(rgb, degraded=y_res.degraded, cached=y_res.cached,
+                         reason=y_res.reason)
+
+
+def upscale_array(engine: InferenceEngine, img: np.ndarray,
+                  timeout: Optional[float] = None) -> np.ndarray:
+    """Back-compat wrapper over :func:`upscale_array_ex` (image only)."""
+    return upscale_array_ex(engine, img, timeout=timeout).image
 
 
 class SRRequestHandler(BaseHTTPRequestHandler):
@@ -87,12 +107,23 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         if self.path != "/upscale":
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        max_bytes = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             length = -1
-        if not 0 < length <= MAX_BODY_BYTES:
-            self._send_json(400, {"error": "missing or oversized body"})
+        if length > max_bytes:
+            # Reject before reading: the body never enters memory.  The
+            # unread bytes would corrupt a keep-alive connection, so
+            # close it after responding.
+            self.close_connection = True
+            self._send_json(413, {
+                "error": f"body of {length} bytes exceeds the "
+                         f"{max_bytes}-byte limit",
+            })
+            return
+        if length <= 0:
+            self._send_json(400, {"error": "missing or invalid body"})
             return
         body = self.rfile.read(length)
         try:
@@ -101,7 +132,7 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"bad netpbm payload: {exc}"})
             return
         try:
-            out = upscale_array(self.engine, img)
+            result = upscale_array_ex(self.engine, img)
         except (EngineOverloaded, EngineClosed) as exc:
             self._send_json(503, {"error": str(exc)})
             return
@@ -111,14 +142,22 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
             self._send_json(500, {"error": f"inference failed: {exc}"})
             return
-        payload = encode_netpbm(out)
-        self._send_bytes(200, payload, "application/octet-stream")
+        payload = encode_netpbm(result.image)
+        self._send_bytes(
+            200, payload, "application/octet-stream",
+            extra_headers={
+                "X-Degraded": "true" if result.degraded else "false",
+            },
+        )
 
     # ------------------------------------------------------------------ #
-    def _send_bytes(self, code: int, payload: bytes, ctype: str) -> None:
+    def _send_bytes(self, code: int, payload: bytes, ctype: str,
+                    extra_headers: Optional[dict] = None) -> None:
         self.send_response(code)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -143,10 +182,14 @@ class SRServer(ThreadingHTTPServer):
         engine: InferenceEngine,
         address: Tuple[str, int] = ("127.0.0.1", 8000),
         verbose: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
         super().__init__(address, SRRequestHandler)
         self.engine = engine
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
         self._serving = False
 
     def serve_forever(self, *args, **kwargs) -> None:
@@ -169,6 +212,8 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8000,
     verbose: bool = False,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> SRServer:
     """Bind an :class:`SRServer`; ``port=0`` picks an ephemeral port."""
-    return SRServer(engine, (host, port), verbose=verbose)
+    return SRServer(engine, (host, port), verbose=verbose,
+                    max_body_bytes=max_body_bytes)

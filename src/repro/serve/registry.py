@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from .. import zoo
 from ..nn import Module, load_state
+from ..train.checkpoint import CheckpointCorrupt
 
 PRECISIONS = ("fp32", "int8")
 
@@ -89,7 +90,22 @@ class ModelRegistry:
     def _build(self, key: ModelKey) -> Module:
         trained = build_training_model(key.name, key.scale, self.seed)
         if key.ckpt:
-            load_state(trained, key.ckpt)
+            try:
+                load_state(trained, key.ckpt)
+            except FileNotFoundError:
+                raise
+            except (KeyError, ValueError) as exc:
+                # Wrong architecture / missing keys: a caller error, but
+                # keep the message pointed at the offending file.
+                raise type(exc)(
+                    f"checkpoint {key.ckpt!r} does not match model "
+                    f"{key.name!r}: {exc}"
+                ) from exc
+            except Exception as exc:  # zipfile.BadZipFile, zlib.error, ...
+                raise CheckpointCorrupt(
+                    f"checkpoint {key.ckpt!r} is unreadable (truncated or "
+                    f"damaged): {exc}"
+                ) from exc
         if hasattr(trained, "collapse"):
             deployed = trained.collapse()
             self._collapse_counts[key] = self._collapse_counts.get(key, 0) + 1

@@ -124,6 +124,34 @@ class Histogram:
         }
 
 
+class StateGauge:
+    """Labelled state indicator (e.g. circuit-breaker state).
+
+    Unlike a numeric :class:`Gauge` it holds a short string and counts
+    transitions, so ``/stats`` can show ``"open"`` instead of a magic
+    number and alerting can key off flap counts.
+    """
+
+    def __init__(self, initial: str = "") -> None:
+        self._value = initial
+        self._changes = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: str) -> None:
+        with self._lock:
+            if value != self._value:
+                self._changes += 1
+            self._value = value
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    @property
+    def changes(self) -> int:
+        return self._changes
+
+
 class Telemetry:
     """Named registry of counters/gauges/histograms with one-shot export."""
 
@@ -132,6 +160,7 @@ class Telemetry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._states: Dict[str, StateGauge] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -147,14 +176,20 @@ class Telemetry:
                 self._histograms[name] = Histogram(capacity or 4096)
             return self._histograms[name]
 
+    def state(self, name: str, initial: str = "") -> StateGauge:
+        with self._lock:
+            return self._states.setdefault(name, StateGauge(initial))
+
     def snapshot(self) -> Dict[str, Dict]:
         """Render every metric as a plain (JSON-serialisable) dict."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            states = dict(self._states)
         return {
             "counters": {k: c.value for k, c in counters.items()},
             "gauges": {k: g.value for k, g in gauges.items()},
             "histograms": {k: h.summary() for k, h in histograms.items()},
+            "states": {k: s.value for k, s in states.items()},
         }

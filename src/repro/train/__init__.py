@@ -7,7 +7,15 @@ from .trainer import (
     evaluate_model,
     predict_image,
 )
-from .checkpoint import load_checkpoint, load_extra, save_checkpoint
+from .checkpoint import (
+    CheckpointCorrupt,
+    CheckpointError,
+    load_checkpoint,
+    load_extra,
+    resume_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from .experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -22,9 +30,13 @@ __all__ = [
     "evaluate_fn",
     "evaluate_model",
     "predict_image",
+    "CheckpointCorrupt",
+    "CheckpointError",
     "load_checkpoint",
     "load_extra",
+    "resume_checkpoint",
     "save_checkpoint",
+    "verify_checkpoint",
     "ExperimentConfig",
     "ExperimentResult",
     "bicubic_baseline",

@@ -1,13 +1,34 @@
-"""Resumable training state: model + optimizer + step counter in one file.
+"""Crash-safe resumable training state: model + optimizer + step in one file.
 
 :func:`repro.nn.save_state` persists model weights only; long training
 runs (the paper's full protocol is 480k steps) also need the ADAM moment
 estimates and step count to resume bit-exactly.  This module packages all
-of it into a single ``.npz``.
+of it into a single ``.npz`` — and makes that file survive the ways real
+runs die:
+
+* **Atomic writes.**  :func:`save_checkpoint` writes to ``path + ".tmp"``
+  and ``os.replace``\\ s it into place, so a ``kill -9`` mid-save leaves
+  either the old complete checkpoint or the new complete one, never a
+  half-written file at ``path``.  With ``keep_backup=True`` the previous
+  checkpoint is rotated to ``path + ".bak"`` first.
+* **Content checksums.**  The payload carries a ``meta/checksum`` SHA-256
+  over every key/dtype/shape/byte; :func:`load_checkpoint` recomputes and
+  compares before touching the model, raising :class:`CheckpointCorrupt`
+  on mismatch.  Truncations and flipped bytes are also caught at the zip
+  layer and mapped to the same typed error — garbage weights are never
+  loaded silently.
+* **Validate-then-apply.**  All required keys (model state, optimizer
+  kind/moments) are checked *before* any state is mutated, so a failed
+  load leaves the model and optimizer exactly as they were.
+* **Fallback resume.**  :func:`resume_checkpoint` tries ``path`` then
+  ``path + ".bak"``, skipping corrupt files, and returns step 0 when
+  nothing usable exists — the contract ``Trainer.fit`` builds auto-resume
+  on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict, Optional
 
@@ -16,6 +37,30 @@ import numpy as np
 from ..nn import Adam, Module
 from ..nn.optim import SGD, Optimizer
 
+CHECKSUM_KEY = "meta/checksum"
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """The file on disk is unreadable, truncated, or fails its checksum."""
+
+
+def _payload_checksum(payload: Dict[str, np.ndarray]) -> np.ndarray:
+    """SHA-256 over every entry's key, dtype, shape, and raw bytes."""
+    digest = hashlib.sha256()
+    for key in sorted(payload):
+        if key == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        digest.update(key.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8)
+
 
 def save_checkpoint(
     path: str,
@@ -23,10 +68,14 @@ def save_checkpoint(
     optimizer: Optional[Optimizer] = None,
     step: int = 0,
     extra: Optional[Dict[str, np.ndarray]] = None,
+    keep_backup: bool = False,
 ) -> None:
-    """Write model (+ optimizer) state to ``path``.
+    """Atomically write model (+ optimizer) state to ``path``.
 
-    Keys are namespaced: ``model/...``, ``optim/...``, ``meta/step``.
+    Keys are namespaced: ``model/...``, ``optim/...``, ``meta/step``,
+    ``meta/checksum``.  ``keep_backup=True`` rotates an existing ``path``
+    to ``path + ".bak"`` before the new file replaces it, so one older
+    good checkpoint always survives a later corruption.
     """
     payload: Dict[str, np.ndarray] = {
         f"model/{k}": v for k, v in model.state_dict().items()
@@ -52,8 +101,73 @@ def save_checkpoint(
     if extra:
         for k, v in extra.items():
             payload[f"extra/{k}"] = np.asarray(v)
+    payload[CHECKSUM_KEY] = _payload_checksum(payload)
+
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez_compressed(path, **payload)
+    tmp = path + ".tmp"
+    # np.savez appends ".npz" to bare paths; a file object keeps the name.
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+    if keep_backup and os.path.exists(path):
+        os.replace(path, path + ".bak")
+    os.replace(tmp, path)
+
+
+def _read_payload(path: str) -> Dict[str, np.ndarray]:
+    """Read and checksum-verify a checkpoint; typed errors, no mutation."""
+    try:
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, zlib.error, OSError, ...
+        raise CheckpointCorrupt(
+            f"checkpoint {path!r} is unreadable (truncated or damaged): {exc}"
+        ) from exc
+    stored = payload.pop(CHECKSUM_KEY, None)
+    if stored is not None:  # pre-checksum checkpoints load unverified
+        actual = _payload_checksum(payload)
+        if not np.array_equal(np.asarray(stored, dtype=np.uint8), actual):
+            raise CheckpointCorrupt(
+                f"checkpoint {path!r} failed its content checksum"
+            )
+    return payload
+
+
+def _validate_optimizer_payload(
+    payload: Dict[str, np.ndarray], optimizer: Optimizer, path: str
+) -> str:
+    """Check every optimizer key exists *before* anything is applied."""
+    kind_arr = payload.get("optim/kind")
+    if kind_arr is None:
+        raise KeyError("checkpoint has no optimizer state")
+    kind = bytes(kind_arr.tobytes()).decode()
+    if "optim/lr" not in payload:
+        raise CheckpointCorrupt(f"checkpoint {path!r} lacks optim/lr")
+    if isinstance(optimizer, Adam):
+        if kind != "adam":
+            raise TypeError(f"checkpoint optimizer is {kind!r}, not adam")
+        required = ["optim/t"]
+        required += [f"optim/m/{i}" for i in range(len(optimizer.params))]
+        required += [f"optim/v/{i}" for i in range(len(optimizer.params))]
+        missing = [k for k in required if k not in payload]
+        if missing:
+            raise CheckpointCorrupt(
+                f"checkpoint {path!r} optimizer state is incomplete: "
+                f"missing {missing[:4]}{'...' if len(missing) > 4 else ''}"
+            )
+    elif isinstance(optimizer, SGD):
+        if kind != "sgd":
+            raise TypeError(f"checkpoint optimizer is {kind!r}, not sgd")
+        n_vel = sum(1 for k in payload if k.startswith("optim/vel/"))
+        missing = [f"optim/vel/{i}" for i in range(n_vel)
+                   if f"optim/vel/{i}" not in payload]
+        if missing:
+            raise CheckpointCorrupt(
+                f"checkpoint {path!r} SGD velocity state is incomplete: "
+                f"missing {missing[:4]}"
+            )
+    return kind
 
 
 def load_checkpoint(
@@ -62,32 +176,31 @@ def load_checkpoint(
     optimizer: Optional[Optimizer] = None,
     strict: bool = True,
 ) -> int:
-    """Restore model (+ optimizer) state; returns the saved step count."""
-    with np.load(path) as archive:
-        payload = {k: archive[k] for k in archive.files}
+    """Restore model (+ optimizer) state; returns the saved step count.
+
+    Raises :class:`CheckpointCorrupt` on truncation, damage, or checksum
+    mismatch; :class:`KeyError`/:class:`TypeError` on missing or
+    mismatched optimizer state.  All validation happens before any state
+    is written, so a failed load leaves ``model``/``optimizer`` intact.
+    """
+    payload = _read_payload(path)
     model_state = {
         k[len("model/"):]: v for k, v in payload.items()
         if k.startswith("model/")
     }
-    model.load_state_dict(model_state, strict=strict)
     step = int(payload.get("meta/step", np.asarray(0)))
-
     if optimizer is not None:
-        kind_arr = payload.get("optim/kind")
-        if kind_arr is None:
-            raise KeyError("checkpoint has no optimizer state")
-        kind = bytes(kind_arr.tobytes()).decode()
+        _validate_optimizer_payload(payload, optimizer, path)
+
+    model.load_state_dict(model_state, strict=strict)
+    if optimizer is not None:
         optimizer.lr = float(payload["optim/lr"])
         if isinstance(optimizer, Adam):
-            if kind != "adam":
-                raise TypeError(f"checkpoint optimizer is {kind!r}, not adam")
             optimizer.t = int(payload["optim/t"])
             for i in range(len(optimizer.params)):
                 optimizer._m[i][...] = payload[f"optim/m/{i}"]
                 optimizer._v[i][...] = payload[f"optim/v/{i}"]
         elif isinstance(optimizer, SGD):
-            if kind != "sgd":
-                raise TypeError(f"checkpoint optimizer is {kind!r}, not sgd")
             vel_keys = [k for k in payload if k.startswith("optim/vel/")]
             if vel_keys:
                 optimizer._velocity = [
@@ -97,11 +210,44 @@ def load_checkpoint(
     return step
 
 
+def verify_checkpoint(path: str) -> int:
+    """Read + checksum-verify ``path`` without touching any model.
+
+    Returns the stored step count; raises :class:`CheckpointCorrupt` (or
+    :class:`FileNotFoundError`) like :func:`load_checkpoint` would.
+    """
+    payload = _read_payload(path)
+    return int(payload.get("meta/step", np.asarray(0)))
+
+
+def resume_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    strict: bool = True,
+) -> int:
+    """Best-effort resume: ``path`` first, then ``path + ".bak"``.
+
+    Corrupt candidates are skipped (that is the point of the backup);
+    missing files are skipped; anything else — e.g. an optimizer-kind
+    mismatch, which means the *caller* is wrong, not the disk —
+    propagates.  Returns the resumed step, or 0 for a fresh start.
+    """
+    for candidate in (path, path + ".bak"):
+        if not os.path.exists(candidate):
+            continue
+        try:
+            return load_checkpoint(candidate, model, optimizer, strict=strict)
+        except CheckpointCorrupt:
+            continue
+    return 0
+
+
 def load_extra(path: str) -> Dict[str, np.ndarray]:
     """Read back the ``extra`` entries of a checkpoint."""
-    with np.load(path) as archive:
-        return {
-            k[len("extra/"):]: archive[k]
-            for k in archive.files
-            if k.startswith("extra/")
-        }
+    payload = _read_payload(path)
+    return {
+        k[len("extra/"):]: v
+        for k, v in payload.items()
+        if k.startswith("extra/")
+    }

@@ -19,6 +19,8 @@ from ..metrics import ssim as ssim_fn
 from ..nn import Adam, Module, Tensor, no_grad
 from ..nn.losses import LOSSES
 from ..nn.schedulers import LRScheduler
+from ..resilience.guard import GUARD_OK, GUARD_ROLLBACK, NumericGuard
+from .checkpoint import resume_checkpoint, save_checkpoint
 
 
 @dataclass
@@ -28,6 +30,10 @@ class TrainResult:
     steps: int
     loss_history: List[float] = field(default_factory=list)
     val_history: List[Tuple[int, float]] = field(default_factory=list)
+    resumed_from: int = 0
+    skipped_steps: int = 0
+    rollbacks: int = 0
+    checkpoints_written: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -53,6 +59,22 @@ class Trainer:
 
     def train_step(self, lr_batch: np.ndarray, hr_batch: np.ndarray) -> float:
         """One optimisation step; returns the batch loss."""
+        loss, _ = self.guarded_step(lr_batch, hr_batch, guard=None)
+        return loss
+
+    def guarded_step(
+        self,
+        lr_batch: np.ndarray,
+        hr_batch: np.ndarray,
+        guard: Optional[NumericGuard] = None,
+    ) -> Tuple[float, str]:
+        """One step with numeric guarding; returns ``(loss, verdict)``.
+
+        The guard runs between ``backward()`` and ``optimizer.step()``:
+        a ``"skip"``/``"rollback"`` verdict leaves the parameters and
+        optimizer moments untouched by this batch.  Without a guard the
+        verdict is always ``"ok"`` and this is exactly ``train_step``.
+        """
         self.model.train()
         self.optimizer.zero_grad()
         pred = self.model(Tensor(lr_batch))
@@ -60,8 +82,15 @@ class Trainer:
         loss.backward()
         if self.grad_clip is not None:
             self._clip_gradients(self.grad_clip)
-        self.optimizer.step()
-        return loss.item()
+        loss_val = loss.item()
+        verdict = GUARD_OK
+        if guard is not None:
+            verdict = guard.check(
+                loss_val, (p.grad for p in self.optimizer.params)
+            )
+        if verdict == GUARD_OK:
+            self.optimizer.step()
+        return loss_val, verdict
 
     def _clip_gradients(self, max_norm: float) -> None:
         total = 0.0
@@ -83,6 +112,10 @@ class Trainer:
         log_fn: Optional[Callable[[int, float], None]] = None,
         scheduler: Optional["LRScheduler"] = None,
         early_stop_patience: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: bool = True,
+        guard: Optional[NumericGuard] = None,
     ) -> TrainResult:
         """Train for ``epochs`` passes of the sampler's schedule.
 
@@ -93,18 +126,61 @@ class Trainer:
         run once the validation metric has not improved for that many
         consecutive evaluations; the metric is treated as
         higher-is-better (e.g. PSNR).
+
+        Crash safety (``checkpoint_path`` + ``checkpoint_every``): the
+        trainer atomically checkpoints model/optimizer/step every
+        ``checkpoint_every`` steps (keeping one ``.bak`` generation), and
+        with ``resume=True`` a restarted ``fit`` reloads the newest
+        readable checkpoint and replays the sampler *schedule* up to that
+        step without training — the batch stream is seeded, so the resumed
+        run sees exactly the batches the killed run would have, and the
+        loss trajectory continues bit-exactly.
+
+        ``guard`` (a :class:`repro.resilience.NumericGuard`) skips steps
+        with NaN/Inf losses or gradients and, after its consecutive-bad
+        limit, rolls the run back to the last good checkpoint with the
+        learning rate scaled by ``guard.lr_decay``.
         """
-        result = TrainResult(steps=0)
+        start_step = 0
+        if checkpoint_path and resume:
+            start_step = resume_checkpoint(
+                checkpoint_path, self.model, self.optimizer
+            )
+        result = TrainResult(steps=start_step, resumed_from=start_step)
         best_val = -np.inf
         stale = 0
+        base_lr = self.optimizer.lr
+        lr_scale = 1.0  # compounds guard rollback decays, survives scheduler
         for step, (lr_b, hr_b) in enumerate(sampler.batches(epochs), start=1):
+            if step <= start_step:
+                continue  # replay the seeded schedule without training
             if scheduler is not None:
                 scheduler.apply(self.optimizer, step - 1)
-            loss = self.train_step(lr_b, hr_b)
+                self.optimizer.lr *= lr_scale
+            elif lr_scale != 1.0:
+                self.optimizer.lr = base_lr * lr_scale
+            loss, verdict = self.guarded_step(lr_b, hr_b, guard)
+            if verdict != GUARD_OK:
+                result.skipped_steps += 1
+                if verdict == GUARD_ROLLBACK:
+                    result.rollbacks += 1
+                    if checkpoint_path:
+                        resume_checkpoint(
+                            checkpoint_path, self.model, self.optimizer
+                        )
+                    lr_scale *= guard.lr_decay
             result.loss_history.append(loss)
             result.steps = step
             if log_fn is not None:
                 log_fn(step, loss)
+            if (checkpoint_path and checkpoint_every
+                    and step % checkpoint_every == 0
+                    and verdict == GUARD_OK):
+                save_checkpoint(
+                    checkpoint_path, self.model, self.optimizer, step=step,
+                    keep_backup=True,
+                )
+                result.checkpoints_written += 1
             if eval_every and eval_fn and step % eval_every == 0:
                 val = eval_fn()
                 result.val_history.append((step, val))

@@ -1,0 +1,142 @@
+"""CircuitBreaker state machine driven by a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(threshold=3, cooldown=10.0, **kw):
+    clock = FakeClock()
+    return CircuitBreaker(failure_threshold=threshold, cooldown=cooldown,
+                          clock=clock, **kw), clock
+
+
+def trip(breaker, n):
+    for _ in range(n):
+        breaker.record_failure()
+
+
+def test_starts_closed_and_allows():
+    b, _ = make()
+    assert b.state == BREAKER_CLOSED
+    assert b.allow()
+
+
+def test_consecutive_failures_open_it():
+    b, _ = make(threshold=3)
+    trip(b, 2)
+    assert b.state == BREAKER_CLOSED
+    trip(b, 1)
+    assert b.state == BREAKER_OPEN
+    assert not b.allow()
+
+
+def test_success_resets_the_consecutive_count():
+    b, _ = make(threshold=3)
+    trip(b, 2)
+    b.record_success()
+    trip(b, 2)
+    assert b.state == BREAKER_CLOSED
+
+
+def test_open_refuses_until_cooldown_elapses():
+    b, clock = make(threshold=1, cooldown=10.0)
+    trip(b, 1)
+    clock.advance(9.9)
+    assert not b.allow()
+    clock.advance(0.2)
+    assert b.allow()
+    assert b.state == BREAKER_HALF_OPEN
+
+
+def test_half_open_admits_at_most_half_open_max_trials():
+    b, clock = make(threshold=1, cooldown=1.0, half_open_max=1)
+    trip(b, 1)
+    clock.advance(2.0)
+    assert b.allow()          # the single trial slot
+    assert not b.allow()      # second concurrent probe refused
+
+
+def test_half_open_success_closes():
+    b, clock = make(threshold=1, cooldown=1.0)
+    trip(b, 1)
+    clock.advance(2.0)
+    assert b.allow()
+    b.record_success()
+    assert b.state == BREAKER_CLOSED
+    assert b.allow()
+
+
+def test_half_open_failure_reopens_and_restarts_cooldown():
+    b, clock = make(threshold=1, cooldown=5.0)
+    trip(b, 1)
+    clock.advance(6.0)
+    assert b.allow()
+    b.record_failure()
+    assert b.state == BREAKER_OPEN
+    clock.advance(4.0)
+    assert not b.allow()      # cooldown restarted at the re-open
+    clock.advance(2.0)
+    assert b.allow()
+
+
+def test_on_transition_callback_sees_every_edge():
+    edges = []
+    b, clock = make(threshold=1, cooldown=1.0,
+                    on_transition=lambda old, new: edges.append((old, new)))
+    trip(b, 1)
+    clock.advance(2.0)
+    b.allow()
+    b.record_success()
+    assert edges == [
+        (BREAKER_CLOSED, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+    ]
+
+
+def test_reset_forces_closed():
+    b, _ = make(threshold=1)
+    trip(b, 1)
+    b.reset()
+    assert b.state == BREAKER_CLOSED
+    assert b.allow()
+
+
+def test_snapshot_shape_and_cooldown_remaining():
+    b, clock = make(threshold=1, cooldown=10.0)
+    b.name = "m5:x2:collapsed"
+    trip(b, 1)
+    clock.advance(4.0)
+    snap = b.snapshot()
+    assert snap["name"] == "m5:x2:collapsed"
+    assert snap["state"] == BREAKER_OPEN
+    assert snap["cooldown_remaining_s"] == pytest.approx(6.0)
+    assert snap["transitions"][BREAKER_OPEN] == 1
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(half_open_max=0)

@@ -1,0 +1,175 @@
+"""Checkpoint corruption: damaged files raise typed errors, never load garbage."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import SESR
+from repro.nn import Adam
+from repro.train import (
+    CheckpointCorrupt,
+    Trainer,
+    load_checkpoint,
+    resume_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.train.checkpoint import CHECKSUM_KEY, _payload_checksum
+
+pytestmark = pytest.mark.chaos
+
+
+def small_model(seed=0):
+    return SESR(scale=2, f=8, m=1, expansion=16, seed=seed)
+
+
+def trained_checkpoint(tmp_path, step=7, name="ck.npz"):
+    """A checkpoint with non-trivial ADAM moments (one real step taken)."""
+    model = small_model()
+    trainer = Trainer(model, lr=1e-3)
+    rng = np.random.default_rng(0)
+    trainer.train_step(
+        rng.random((2, 12, 12, 1)).astype(np.float32),
+        rng.random((2, 24, 24, 1)).astype(np.float32),
+    )
+    path = os.path.join(tmp_path, name)
+    save_checkpoint(path, model, trainer.optimizer, step=step)
+    return path, model, trainer
+
+
+def truncate(path, keep_fraction=0.5):
+    with open(path, "rb") as fh:
+        data = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(data[: int(len(data) * keep_fraction)])
+
+
+def flip_byte(path, offset=None):
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    offset = len(data) // 2 if offset is None else offset
+    data[offset] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+
+
+def rewrite_without_keys(path, *drop):
+    """Drop payload keys but keep the checksum valid (structural damage)."""
+    with np.load(path) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    payload.pop(CHECKSUM_KEY)
+    for key in drop:
+        payload.pop(key)
+    payload[CHECKSUM_KEY] = _payload_checksum(payload)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+
+class TestDamageDetection:
+    def test_truncated_file_raises_corrupt(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        truncate(path)
+        model = small_model(5)
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path, model, Adam(model.parameters()))
+
+    def test_flipped_byte_raises_corrupt(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        flip_byte(path)
+        model = small_model(5)
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path, model, Adam(model.parameters()))
+
+    def test_verify_checkpoint_catches_damage_without_a_model(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path, step=7)
+        assert verify_checkpoint(path) == 7
+        flip_byte(path)
+        with pytest.raises(CheckpointCorrupt):
+            verify_checkpoint(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            verify_checkpoint(os.path.join(tmp_path, "nope.npz"))
+
+    def test_failed_load_leaves_model_and_optimizer_untouched(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        flip_byte(path)
+        model = small_model(5)
+        optimizer = Adam(model.parameters(), lr=0.123)
+        before = [p.data.copy() for p in model.parameters()]
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path, model, optimizer)
+        for p, b in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.data, b)
+        assert optimizer.lr == 0.123 and optimizer.t == 0
+
+
+class TestStructuralValidation:
+    # These files pass the checksum — the damage is missing keys, which
+    # the validate-then-apply layer must catch before any state mutates.
+
+    def test_missing_adam_moment_raises_corrupt(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        rewrite_without_keys(path, "optim/m/0")
+        model = small_model(5)
+        with pytest.raises(CheckpointCorrupt, match="incomplete"):
+            load_checkpoint(path, model, Adam(model.parameters()))
+
+    def test_missing_lr_raises_corrupt(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        rewrite_without_keys(path, "optim/lr")
+        model = small_model(5)
+        with pytest.raises(CheckpointCorrupt, match="optim/lr"):
+            load_checkpoint(path, model, Adam(model.parameters()))
+
+    def test_no_optimizer_state_at_all_raises_key_error(self, tmp_path):
+        model = small_model()
+        path = os.path.join(tmp_path, "weights-only.npz")
+        save_checkpoint(path, model)  # no optimizer in the file
+        with pytest.raises(KeyError, match="optimizer"):
+            load_checkpoint(path, model, Adam(model.parameters()))
+
+    def test_validation_failure_leaves_state_untouched(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        rewrite_without_keys(path, "optim/m/0")
+        model = small_model(5)
+        optimizer = Adam(model.parameters(), lr=0.5)
+        before = [p.data.copy() for p in model.parameters()]
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path, model, optimizer)
+        for p, b in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.data, b)
+        assert optimizer.lr == 0.5 and optimizer.t == 0
+
+
+class TestAtomicityAndBackup:
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        path, _, _ = trained_checkpoint(tmp_path)
+        assert os.path.exists(path)
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_keep_backup_rotates_previous_generation(self, tmp_path):
+        path, model, trainer = trained_checkpoint(tmp_path, step=1)
+        save_checkpoint(path, model, trainer.optimizer, step=2,
+                        keep_backup=True)
+        assert verify_checkpoint(path) == 2
+        assert verify_checkpoint(path + ".bak") == 1
+
+    def test_resume_falls_back_to_backup_when_primary_corrupt(self, tmp_path):
+        path, model, trainer = trained_checkpoint(tmp_path, step=1)
+        save_checkpoint(path, model, trainer.optimizer, step=2,
+                        keep_backup=True)
+        truncate(path)  # the crash landed on the newest generation
+        clone = small_model(9)
+        step = resume_checkpoint(path, clone, Adam(clone.parameters()))
+        assert step == 1
+
+    def test_resume_returns_zero_when_nothing_usable(self, tmp_path):
+        model = small_model()
+        missing = os.path.join(tmp_path, "never-written.npz")
+        assert resume_checkpoint(missing, model) == 0
+        path, _, _ = trained_checkpoint(tmp_path)
+        truncate(path)
+        assert resume_checkpoint(path, model) == 0

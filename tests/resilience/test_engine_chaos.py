@@ -1,0 +1,194 @@
+"""Chaos tests for the serving engine: deterministic fault injection.
+
+Every scenario drives the engine through a seeded
+:class:`~repro.resilience.FaultInjector`, so the fault schedule — and
+therefore the asserted outcome — is identical on every run.  All blocking
+calls carry explicit timeouts; nothing here can hang the suite.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.degradation import bicubic_upscale
+from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy
+from repro.serve import (
+    BreakerOpen,
+    EngineError,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+)
+from repro.train import predict_image
+
+pytestmark = pytest.mark.chaos
+
+KEY = ModelKey(name="M3", scale=2)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ModelRegistry()
+
+
+def make_engine(registry, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("tile", 64)  # one tile per small test image
+    kwargs.setdefault("cache_size", 0)
+    return InferenceEngine(registry, KEY, **kwargs)
+
+
+def image(seed=0, shape=(20, 20)):
+    return np.random.default_rng(seed).random(shape).astype(np.float32)
+
+
+def degraded_reference(img, scale=2):
+    return np.clip(bicubic_upscale(img, scale), 0.0, 1.0).astype(np.float32)
+
+
+class TestTransientFaults:
+    def test_retries_absorb_transient_faults_bit_exactly(self, registry):
+        img = image(0)
+        inj = FaultInjector(fail_first=2)
+        with make_engine(registry, retry=FAST_RETRY, fault_injector=inj) as eng:
+            result = eng.upscale_ex(img, timeout=30.0)
+            ref = predict_image(eng.model, img)
+            snap = eng.stats()
+        assert not result.degraded
+        np.testing.assert_array_equal(result.image, ref)
+        assert snap["counters"]["engine.tile_retries"] == 2
+        assert snap["counters"]["engine.requests_ok"] == 1
+        assert inj.stats()["faults"] == 2
+
+    def test_seeded_fail_rate_is_survivable(self, registry):
+        # 30% per-attempt fault rate, 3 attempts per tile: the seeded
+        # schedule is fixed, so this either passes always or never.
+        inj = FaultInjector(seed=7, fail_rate=0.3)
+        imgs = [image(i) for i in range(4)]
+        with make_engine(registry, retry=FAST_RETRY, fault_injector=inj,
+                         degraded_mode=True) as eng:
+            results = [eng.upscale_ex(im, timeout=30.0) for im in imgs]
+            snap = eng.stats()
+        assert len(results) == 4
+        assert snap["counters"]["engine.requests_total"] == 4
+        assert snap["fault_injector"]["calls"] >= 4
+
+
+class TestPersistentFaults:
+    def test_degraded_mode_serves_bicubic_and_opens_breaker(self, registry):
+        inj = FaultInjector(persistent=True)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=60.0)
+        with make_engine(registry, retry=NO_RETRY, fault_injector=inj,
+                         breaker=breaker, degraded_mode=True) as eng:
+            imgs = [image(i) for i in range(3)]
+            results = [eng.upscale_ex(im, timeout=30.0) for im in imgs]
+            snap = eng.stats()
+
+        for im, res in zip(imgs, results):
+            assert res.degraded
+            np.testing.assert_array_equal(res.image, degraded_reference(im))
+        # Requests 1-2 exhaust retries (breaker trips at the 2nd); request
+        # 3 is short-circuited without ever touching the model.
+        assert results[2].reason == "circuit breaker open"
+        assert snap["breaker"]["state"] == "open"
+        assert snap["counters"]["engine.requests_error"] == 2
+        assert snap["counters"]["engine.breaker_short_circuits"] == 1
+        assert snap["counters"]["engine.requests_degraded"] == 3
+        assert snap["states"]["engine.breaker_state"] == "open"
+        assert inj.stats()["calls"] == 2  # request 3 never reached a tile
+
+    def test_degraded_outputs_are_never_cached(self, registry):
+        img = image(1)
+        inj = FaultInjector(fail_first=1)
+        with make_engine(registry, retry=NO_RETRY, fault_injector=inj,
+                         degraded_mode=True, cache_size=8) as eng:
+            first = eng.upscale_ex(img, timeout=30.0)
+            second = eng.upscale_ex(img, timeout=30.0)
+        assert first.degraded and not second.degraded
+        assert not second.cached  # the degraded bytes were not cached
+        np.testing.assert_array_equal(first.image, degraded_reference(img))
+
+    def test_without_degraded_mode_failures_raise(self, registry):
+        inj = FaultInjector(persistent=True)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60.0)
+        with make_engine(registry, retry=NO_RETRY, fault_injector=inj,
+                         breaker=breaker) as eng:
+            with pytest.raises(EngineError, match="injected tile fault"):
+                eng.upscale(image(0), timeout=30.0)
+            # Breaker is now open: the next request short-circuits into
+            # BreakerOpen instead of touching the model.
+            with pytest.raises(BreakerOpen, match="circuit breaker open"):
+                eng.upscale(image(1), timeout=30.0)
+
+
+class TestBreakerRecovery:
+    def test_half_open_probe_success_closes_breaker(self, registry):
+        inj = FaultInjector(fail_first=2)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=0.05)
+        with make_engine(registry, retry=NO_RETRY, fault_injector=inj,
+                         breaker=breaker, degraded_mode=True) as eng:
+            a = eng.upscale_ex(image(0), timeout=30.0)
+            b = eng.upscale_ex(image(1), timeout=30.0)
+            assert a.degraded and b.degraded
+            assert eng.breaker.state == "open"
+
+            time.sleep(0.1)  # cooldown elapses
+            img = image(2)
+            c = eng.upscale_ex(img, timeout=30.0)
+            ref = predict_image(eng.model, img)
+            snap = eng.stats()
+
+        assert not c.degraded
+        np.testing.assert_array_equal(c.image, ref)
+        assert eng.breaker.state == "closed"
+        assert snap["breaker"]["transitions"] == {
+            "closed": 1, "open": 1, "half_open": 1,
+        }
+        assert snap["counters"]["engine.breaker_to_closed"] == 1
+
+
+class TestWorkerSupervision:
+    def test_worker_death_requeues_job_and_respawns(self, registry):
+        img = image(3)
+        inj = FaultInjector(kill_on_calls={1})
+        with make_engine(registry, workers=1, fault_injector=inj,
+                         supervise_interval=0.05) as eng:
+            result = eng.upscale_ex(img, timeout=30.0)
+            ref = predict_image(eng.model, img)
+            snap = eng.stats()
+        assert not result.degraded
+        np.testing.assert_array_equal(result.image, ref)
+        assert snap["counters"]["engine.worker_deaths"] == 1
+        assert snap["counters"]["engine.worker_respawns"] >= 1
+        assert inj.stats()["kills"] == 1
+
+    def test_wedged_worker_is_retired_and_replaced(self, registry):
+        inj = FaultInjector(latency=0.5, latency_every=1)
+        with make_engine(registry, workers=1, fault_injector=inj,
+                         supervise_interval=0.05, wedge_timeout=0.1) as eng:
+            result = eng.upscale_ex(image(4), timeout=30.0)
+            # Give the supervisor a beat to see the busy heartbeat.
+            deadline = time.monotonic() + 5.0
+            while (eng.stats()["counters"].get("engine.workers_wedged", 0) < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            snap = eng.stats()
+        assert not result.degraded  # the slow request still completed
+        assert snap["counters"]["engine.workers_wedged"] >= 1
+        assert snap["counters"]["engine.worker_respawns"] >= 1
+
+    def test_pool_survives_repeated_deaths(self, registry):
+        # Three kills spread across the schedule; every request completes.
+        inj = FaultInjector(kill_on_calls={1, 3, 5})
+        with make_engine(registry, workers=2, fault_injector=inj,
+                         supervise_interval=0.05) as eng:
+            for i in range(4):
+                out = eng.upscale(image(10 + i), timeout=30.0)
+                assert out.shape == (40, 40)
+            snap = eng.stats()
+        assert snap["counters"]["engine.worker_deaths"] == 3
+        assert snap["counters"]["engine.requests_ok"] == 4

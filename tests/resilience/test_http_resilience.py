@@ -1,0 +1,152 @@
+"""HTTP-layer resilience: body-size limits, degraded headers, signal hooks."""
+
+import json
+import signal
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cli import _install_shutdown_handlers
+from repro.datasets import decode_netpbm, encode_netpbm
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+
+pytestmark = pytest.mark.chaos
+
+KEY = ModelKey(name="M3", scale=2)
+
+
+def start_server(engine, **kwargs):
+    srv = make_server(engine, "127.0.0.1", 0, **kwargs)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+def url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def post(server, path, body):
+    req = urllib.request.Request(url(server, path), data=body, method="POST")
+    return urllib.request.urlopen(req, timeout=30)
+
+
+class TestBodySizeLimit:
+    @pytest.fixture(scope="class")
+    def server(self):
+        engine = InferenceEngine(ModelRegistry(), KEY, workers=1, tile=64)
+        srv, thread = start_server(engine, max_body_bytes=4096)
+        yield srv
+        srv.close()
+        thread.join(timeout=5)
+
+    def test_small_body_is_served(self, server):
+        img = np.random.default_rng(0).random((10, 10)).astype(np.float32)
+        body = encode_netpbm(img)
+        assert len(body) <= 4096
+        with post(server, "/upscale", body) as resp:
+            out = decode_netpbm(resp.read())
+        assert out.shape == (20, 20)
+
+    def test_oversized_body_is_413(self, server):
+        img = np.random.default_rng(1).random((80, 80)).astype(np.float32)
+        body = encode_netpbm(img)
+        assert len(body) > 4096
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/upscale", body)
+        assert err.value.code == 413
+        detail = json.load(err.value)
+        assert "exceeds" in detail["error"]
+
+    def test_server_still_healthy_after_rejections(self, server):
+        # The unread oversized body must not wedge or corrupt the listener.
+        big = encode_netpbm(np.ones((80, 80), dtype=np.float32))
+        for _ in range(3):
+            with pytest.raises(urllib.error.HTTPError):
+                post(server, "/upscale", big)
+        with urllib.request.urlopen(url(server, "/healthz"), timeout=30) as r:
+            assert json.load(r)["status"] == "ok"
+
+    def test_rejection_does_not_touch_the_engine(self, server):
+        before = server.engine.stats()["counters"]["engine.requests_total"]
+        with pytest.raises(urllib.error.HTTPError):
+            post(server, "/upscale",
+                 encode_netpbm(np.ones((80, 80), dtype=np.float32)))
+        after = server.engine.stats()["counters"]["engine.requests_total"]
+        assert after == before
+
+    def test_invalid_max_body_bytes_rejected(self):
+        engine = InferenceEngine(ModelRegistry(), KEY, workers=1)
+        try:
+            with pytest.raises(ValueError):
+                make_server(engine, "127.0.0.1", 0, max_body_bytes=0)
+        finally:
+            engine.shutdown()
+
+
+class TestDegradedHeader:
+    def test_degraded_response_carries_the_header(self):
+        engine = InferenceEngine(
+            ModelRegistry(), KEY, workers=1, tile=64, cache_size=0,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+            fault_injector=FaultInjector(persistent=True),
+            degraded_mode=True,
+        )
+        srv, thread = start_server(engine)
+        try:
+            img = np.random.default_rng(2).random((12, 12)).astype(np.float32)
+            with post(srv, "/upscale", encode_netpbm(img)) as resp:
+                assert resp.headers["X-Degraded"] == "true"
+                out = decode_netpbm(resp.read())
+            assert out.shape == (24, 24)
+        finally:
+            srv.close()
+            thread.join(timeout=5)
+
+    def test_healthy_response_says_degraded_false(self):
+        engine = InferenceEngine(ModelRegistry(), KEY, workers=1, tile=64)
+        srv, thread = start_server(engine)
+        try:
+            img = np.random.default_rng(3).random((12, 12)).astype(np.float32)
+            with post(srv, "/upscale", encode_netpbm(img)) as resp:
+                assert resp.headers["X-Degraded"] == "false"
+        finally:
+            srv.close()
+            thread.join(timeout=5)
+
+
+class TestShutdownHandlers:
+    def test_sigint_and_sigterm_route_to_keyboard_interrupt(self):
+        saved = {sig: signal.getsignal(sig)
+                 for sig in (signal.SIGINT, signal.SIGTERM)}
+        try:
+            _install_shutdown_handlers()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                handler = signal.getsignal(sig)
+                assert callable(handler)
+                with pytest.raises(KeyboardInterrupt):
+                    handler(sig, None)
+        finally:
+            for sig, old in saved.items():
+                signal.signal(sig, old)
+
+    def test_install_from_worker_thread_is_a_noop(self):
+        # signal.signal raises ValueError off the main thread; the helper
+        # must swallow it so `repro serve` can run under any runner.
+        errors = []
+
+        def install():
+            try:
+                _install_shutdown_handlers()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=install)
+        t.start()
+        t.join(timeout=10)
+        assert errors == []

@@ -1,0 +1,97 @@
+"""RetryPolicy backoff maths and call_with_retry semantics."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, WorkerDeath, call_with_retry
+
+pytestmark = pytest.mark.chaos
+
+
+class TestBackoff:
+    def test_grows_geometrically_without_jitter(self):
+        p = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                        jitter=0.0)
+        assert p.backoff(1) == pytest.approx(0.1)
+        assert p.backoff(2) == pytest.approx(0.2)
+        assert p.backoff(3) == pytest.approx(0.4)
+
+    def test_capped_at_max_delay(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0,
+                        jitter=0.0)
+        assert p.backoff(5) == pytest.approx(3.0)
+
+    def test_jitter_shrinks_within_bounds(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                        jitter=0.5)
+        rng = p.rng()
+        for _ in range(50):
+            d = p.backoff(1, rng.random())
+            assert 0.5 < d <= 1.0
+
+    def test_jitter_schedule_is_seed_deterministic(self):
+        p = RetryPolicy(seed=7)
+        a = [p.backoff(i, p.rng().random()) for i in range(1, 4)]
+        b = [p.backoff(i, p.rng().random()) for i in range(1, 4)]
+        assert a == b
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestCallWithRetry:
+    def test_transient_failure_recovers(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        out = call_with_retry(
+            flaky, RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert out == "ok" and calls["n"] == 3
+        assert len(sleeps) == 2 and sleeps[1] > sleeps[0]
+
+    def test_exhaustion_reraises_last_error(self):
+        def always():
+            raise RuntimeError("persistent")
+
+        with pytest.raises(RuntimeError, match="persistent"):
+            call_with_retry(always, RetryPolicy(max_attempts=2),
+                            sleep=lambda _: None)
+
+    def test_on_retry_callback_fires_per_retry(self):
+        seen = []
+
+        def always():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                always, RetryPolicy(max_attempts=3), sleep=lambda _: None,
+                on_retry=lambda attempt, exc: seen.append(attempt),
+            )
+        assert seen == [1, 2]
+
+    def test_worker_death_is_never_retried(self):
+        calls = {"n": 0}
+
+        def dies():
+            calls["n"] += 1
+            raise WorkerDeath("kill -9")
+
+        with pytest.raises(WorkerDeath):
+            call_with_retry(dies, RetryPolicy(max_attempts=5),
+                            sleep=lambda _: None)
+        assert calls["n"] == 1

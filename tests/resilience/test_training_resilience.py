@@ -1,0 +1,205 @@
+"""Training under chaos: NaN batches, divergence rollback, crash-resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import SESR
+from repro.datasets import PatchSampler, SyntheticDataset
+from repro.resilience import GUARD_OK, GUARD_ROLLBACK, GUARD_SKIP, NumericGuard
+from repro.train import Trainer
+
+pytestmark = pytest.mark.chaos
+
+
+def make_sampler(seed=3):
+    ds = SyntheticDataset("div2k", n_images=2, size=(48, 48), scale=2, seed=1)
+    return PatchSampler(ds, scale=2, patch_size=12, crops_per_image=8,
+                        batch_size=4, seed=seed)
+
+
+def make_model(seed=0):
+    return SESR(scale=2, f=8, m=1, expansion=16, seed=seed)
+
+
+class PoisonedSampler:
+    """Wraps a sampler, replacing chosen steps' batches with all-NaN data."""
+
+    def __init__(self, inner, poison_steps):
+        self.inner = inner
+        self.poison = set(poison_steps)
+
+    def steps_per_epoch(self):
+        return self.inner.steps_per_epoch()
+
+    def batches(self, epochs=1):
+        for step, (lr_b, hr_b) in enumerate(self.inner.batches(epochs), 1):
+            if step in self.poison:
+                lr_b = np.full_like(lr_b, np.nan)
+            yield lr_b, hr_b
+
+
+class TestNumericGuardVerdicts:
+    def test_finite_loss_is_ok(self):
+        g = NumericGuard()
+        assert g.check(0.5) == GUARD_OK
+        assert g.ok_steps == 1
+
+    def test_nan_and_inf_loss_skip(self):
+        g = NumericGuard()
+        assert g.check(float("nan")) == GUARD_SKIP
+        assert g.check(float("inf")) == GUARD_SKIP
+        assert "non-finite loss" in g.last_reason
+
+    def test_non_finite_gradient_skips(self):
+        g = NumericGuard()
+        grads = [np.ones(3), np.array([1.0, np.inf, 0.0])]
+        assert g.check(0.5, grads) == GUARD_SKIP
+        assert "gradient in parameter 1" in g.last_reason
+
+    def test_loss_spike_skips_once_history_arms(self):
+        g = NumericGuard(spike_factor=10.0, min_history=5)
+        for _ in range(4):
+            assert g.check(1.0) == GUARD_OK
+        assert g.check(100.0) == GUARD_OK  # history not armed yet
+        assert g.check(1.0) == GUARD_OK
+        assert g.check(300.0) == GUARD_SKIP
+        assert "loss spike" in g.last_reason
+
+    def test_skipped_losses_do_not_poison_the_baseline(self):
+        g = NumericGuard(spike_factor=10.0, min_history=5, max_consecutive=99)
+        for _ in range(5):
+            g.check(1.0)
+        g.check(500.0)  # skipped — must not enter the running mean
+        assert g.check(20.0) == GUARD_SKIP  # still a spike vs baseline 1.0
+
+    def test_rollback_after_max_consecutive_then_counter_resets(self):
+        g = NumericGuard(max_consecutive=2)
+        assert g.check(float("nan")) == GUARD_SKIP
+        assert g.check(float("nan")) == GUARD_ROLLBACK
+        assert g.check(float("nan")) == GUARD_SKIP  # counter restarted
+        stats = g.stats()
+        assert stats["skipped_steps"] == 3
+        assert stats["rollbacks_signalled"] == 1
+
+    def test_good_step_resets_the_consecutive_count(self):
+        g = NumericGuard(max_consecutive=2)
+        g.check(float("nan"))
+        g.check(0.5)
+        assert g.check(float("nan")) == GUARD_SKIP  # 1st again, not 2nd
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            NumericGuard(spike_factor=1.0)
+        with pytest.raises(ValueError):
+            NumericGuard(lr_decay=0.0)
+        with pytest.raises(ValueError):
+            NumericGuard(max_consecutive=0)
+
+
+class TestGuardedStep:
+    def test_nan_batch_leaves_parameters_and_moments_untouched(self):
+        model = make_model()
+        trainer = Trainer(model, lr=1e-3)
+        before = [p.data.copy() for p in model.parameters()]
+        lr_b = np.full((2, 12, 12, 1), np.nan, dtype=np.float32)
+        hr_b = np.zeros((2, 24, 24, 1), dtype=np.float32)
+        loss, verdict = trainer.guarded_step(lr_b, hr_b, NumericGuard())
+        assert verdict == GUARD_SKIP and not np.isfinite(loss)
+        for p, b in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.data, b)
+        assert trainer.optimizer.t == 0  # ADAM never stepped
+
+    def test_without_guard_is_exactly_train_step(self):
+        rng = np.random.default_rng(1)
+        lr_b = rng.random((2, 12, 12, 1)).astype(np.float32)
+        hr_b = rng.random((2, 24, 24, 1)).astype(np.float32)
+        a, b = Trainer(make_model(), lr=1e-3), Trainer(make_model(), lr=1e-3)
+        loss_a = a.train_step(lr_b, hr_b)
+        loss_b, verdict = b.guarded_step(lr_b, hr_b, guard=None)
+        assert loss_a == loss_b and verdict == GUARD_OK
+        for p, q in zip(a.model.parameters(), b.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+
+class TestFitUnderChaos:
+    def test_poisoned_steps_are_skipped_and_rolled_back(self, tmp_path):
+        # 8 steps total; the step-4 checkpoint is the rollback anchor.
+        # Steps 5-6 are poisoned: skip, then (max_consecutive=2) rollback.
+        path = os.path.join(tmp_path, "ck.npz")
+        trainer = Trainer(make_model(), lr=1e-3)
+        guard = NumericGuard(max_consecutive=2, lr_decay=0.5)
+        result = trainer.fit(
+            PoisonedSampler(make_sampler(), poison_steps={5, 6}),
+            epochs=2, checkpoint_path=path, checkpoint_every=4, guard=guard,
+        )
+        assert result.steps == 8
+        assert result.skipped_steps == 2
+        assert result.rollbacks == 1
+        assert result.checkpoints_written == 2  # steps 4 and 8; not step 6
+        assert np.isnan(result.loss_history[4])
+        assert np.isnan(result.loss_history[5])
+        # Rollback halved the learning rate for the rest of the run.
+        assert trainer.optimizer.lr == pytest.approx(1e-3 * 0.5)
+        # The run came out of the poison window with finite weights.
+        for p in trainer.model.parameters():
+            assert np.all(np.isfinite(p.data))
+        assert np.isfinite(result.final_loss)
+
+    def test_poison_free_run_with_guard_matches_unguarded(self, tmp_path):
+        # The guard must be a no-op on a healthy run: bit-identical weights.
+        a = Trainer(make_model(), lr=1e-3)
+        res_a = a.fit(make_sampler(), epochs=1)
+        b = Trainer(make_model(), lr=1e-3)
+        res_b = b.fit(make_sampler(), epochs=1, guard=NumericGuard())
+        assert res_a.loss_history == res_b.loss_history
+        assert res_b.skipped_steps == 0
+        for p, q in zip(a.model.parameters(), b.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+
+class _Crash(RuntimeError):
+    pass
+
+
+class TestCrashResume:
+    def test_resume_after_crash_is_bit_exact(self, tmp_path):
+        path = os.path.join(tmp_path, "ck.npz")
+
+        # Reference: the run that never crashed.
+        ref = Trainer(make_model(0), lr=1e-3)
+        res_ref = ref.fit(make_sampler(), epochs=2)
+        assert res_ref.steps == 8
+
+        # The same run, killed at step 6 (after the step-4 checkpoint).
+        victim = Trainer(make_model(0), lr=1e-3)
+
+        def bomb(step, loss):
+            if step == 6:
+                raise _Crash("simulated kill -9")
+
+        with pytest.raises(_Crash):
+            victim.fit(make_sampler(), epochs=2, checkpoint_path=path,
+                       checkpoint_every=4, log_fn=bomb)
+
+        # Resume into a *differently initialised* model: every bit of the
+        # resumed trajectory must come from the checkpoint, not luck.
+        survivor = Trainer(make_model(99), lr=1e-3)
+        res = survivor.fit(make_sampler(), epochs=2, checkpoint_path=path,
+                           checkpoint_every=4)
+        assert res.resumed_from == 4
+        assert res.steps == 8
+        assert res.loss_history == res_ref.loss_history[4:]
+        for p, q in zip(ref.model.parameters(), survivor.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_resume_false_starts_fresh(self, tmp_path):
+        path = os.path.join(tmp_path, "ck.npz")
+        first = Trainer(make_model(0), lr=1e-3)
+        first.fit(make_sampler(), epochs=1, checkpoint_path=path,
+                  checkpoint_every=2)
+        again = Trainer(make_model(0), lr=1e-3)
+        res = again.fit(make_sampler(), epochs=1, checkpoint_path=path,
+                        checkpoint_every=2, resume=False)
+        assert res.resumed_from == 0 and res.steps == 4

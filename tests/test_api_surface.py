@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.hw",
     "repro.theory",
     "repro.nas",
+    "repro.resilience",
+    "repro.serve",
     "repro.zoo",
     "repro.cli",
     "repro.utils",
