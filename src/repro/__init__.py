@@ -16,6 +16,8 @@ Package layout
 ``repro.nas``       hardware-aware DNAS over SESR backbones (§3.4)
 ``repro.zoo``       registry of every network in Tables 1-2 with the
                     paper's reported numbers
+``repro.obs``       observability: tracing spans, per-op profiler,
+                    Prometheus ``/metrics`` exposition
 ``repro.serve``     batched, cached, multi-worker inference engine with an
                     HTTP front-end (``python -m repro.cli serve``)
 ``repro.resilience`` fault tolerance: retry/backoff, circuit breaker,
@@ -38,6 +40,7 @@ from . import (
     metrics,
     nas,
     nn,
+    obs,
     resilience,
     serve,
     theory,
@@ -57,6 +60,7 @@ __all__ = [
     "metrics",
     "nas",
     "nn",
+    "obs",
     "resilience",
     "serve",
     "theory",

@@ -1,5 +1,5 @@
 """Command-line interface: train / eval / upscale / collapse / estimate /
-nas / serve.
+nas / serve / profile.
 
 Examples
 --------
@@ -26,6 +26,11 @@ Serve the collapsed network over HTTP (see docs/serving.md)::
 
     python -m repro.cli serve --model M5 --scale 2 --workers 4 --port 8000
     curl --data-binary @photo.ppm http://127.0.0.1:8000/upscale -o photo_x2.ppm
+
+Profile where the MACs and milliseconds go, expanded vs collapsed (Fig 3)::
+
+    python -m repro.cli profile --model M5 --scale 2 --size 64 \
+        --jsonl profile.jsonl
 """
 
 from __future__ import annotations
@@ -217,6 +222,80 @@ def cmd_nas(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .nn import no_grad
+    from .nn import Tensor as _Tensor
+    from .obs import Profiler, profile
+    from .utils import format_table
+
+    def build(mode: str):
+        if args.model.upper() == "FSRCNN":
+            return _build_model(args.model, args.scale, args.seed)
+        from .core import SESR
+
+        return SESR.from_name(
+            args.model, scale=args.scale, seed=args.seed, mode=mode
+        )
+
+    def run(mode: str) -> Profiler:
+        rng = np.random.default_rng(args.seed)
+        x = rng.random((args.batch, args.size, args.size, 1))
+        prof = Profiler()
+        if mode == "deployed":
+            model = build("collapsed").collapse()
+            if args.precision == "int8":
+                from .deploy import quantize_sesr
+
+                model = quantize_sesr(model)
+            model.eval()
+            with profile(prof), no_grad():
+                for _ in range(args.repeats):
+                    model(_Tensor(x))
+        else:
+            # Training-shaped forward (autograd on), the cost Fig. 3 plots.
+            model = build(mode)
+            model.train()
+            with profile(prof):
+                for _ in range(args.repeats):
+                    model(_Tensor(x))
+        return prof
+
+    modes = (
+        ("expanded", "collapsed") if args.mode == "both" else (args.mode,)
+    )
+    totals = {}
+    for mode in modes:
+        prof = run(mode)
+        totals[mode] = prof.total_macs()
+        rows = [
+            [op, f"{st['calls']}", f"{st['macs']:,}",
+             f"{st['total_ms']:.2f}", f"{st['mean_ms']:.3f}"]
+            for op, st in prof.summary().items()
+        ]
+        rows.append(["TOTAL", "", f"{prof.total_macs():,}",
+                     f"{prof.total_ms():.2f}", ""])
+        precision = args.precision if mode == "deployed" else "fp32"
+        print(format_table(
+            ["op", "calls", "MACs", "total ms", "mean ms"], rows,
+            title=(f"{args.model} x{args.scale} {mode} ({precision}), "
+                   f"batch {args.batch}, {args.size}x{args.size}, "
+                   f"{args.repeats} forward(s)"),
+        ))
+        if args.jsonl:
+            prof.write_jsonl(
+                args.jsonl, model=args.model, scale=args.scale, mode=mode,
+                precision=precision, batch=args.batch, size=args.size,
+                repeats=args.repeats,
+            )
+    if args.mode == "both" and totals.get("collapsed"):
+        ratio = totals["expanded"] / totals["collapsed"]
+        print(f"expanded/collapsed MAC ratio: {ratio:.2f}x "
+              f"({totals['expanded']:,} vs {totals['collapsed']:,})")
+    if args.jsonl:
+        print(f"wrote per-op records: {args.jsonl}")
+    return 0
+
+
 def _install_shutdown_handlers() -> None:
     """Route SIGINT/SIGTERM through KeyboardInterrupt for a clean drain.
 
@@ -382,6 +461,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-op wall-clock/MAC profile of a model forward (Fig. 3)",
+    )
+    common(p)
+    p.add_argument("--mode",
+                   choices=("expanded", "collapsed", "deployed", "both"),
+                   default="both",
+                   help="training forward (expanded/collapsed, §3.3), the "
+                        "deployed inference net, or both training modes "
+                        "side by side (default)")
+    p.add_argument("--precision", choices=("fp32", "int8"), default="fp32",
+                   help="deployed-mode arithmetic (ignored otherwise)")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--size", type=int, default=32,
+                   help="LR input height/width (default 32)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="forward passes to accumulate (default 1)")
+    p.add_argument("--jsonl", default="",
+                   help="append one JSON line per op to this file")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("nas", help="run a small hardware-aware DNAS")
     p.add_argument("--scale", type=int, default=2, choices=(2, 4))

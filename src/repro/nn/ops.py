@@ -8,10 +8,12 @@ Layout conventions (TensorFlow-style, matching the paper's Algorithm 1):
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import profiler as _profiler
 from .im2col import dilate2d, extract_patches, fold_patches
 from .tensor import Tensor, as_tensor
 
@@ -99,6 +101,11 @@ def conv2d(
         (kh, kw), (sh, sw), padding, in_size=(x.shape[1], x.shape[2])
     )
 
+    # Profiling guard: one module-attribute load + None check when off
+    # (see repro.obs.profiler — this is the entire disabled-path overhead).
+    prof = _profiler.ACTIVE
+    if prof is not None:
+        t0 = time.perf_counter()
     xd = x.data
     if pt or pb or pl or pr:
         xp = np.pad(xd, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
@@ -107,6 +114,8 @@ def conv2d(
     patches = extract_patches(xp, (kh, kw), (sh, sw))  # (N,Ho,Wo,kh,kw,C)
     n, ho, wo = patches.shape[:3]
     cols = patches.reshape(n * ho * wo, kh * kw * cin)
+    if prof is not None:
+        prof.record("im2col", time.perf_counter() - t0)
     wmat = w.data.reshape(kh * kw * cin, cout)
     out_data = (cols @ wmat).reshape(n, ho, wo, cout)
 
@@ -115,20 +124,36 @@ def conv2d(
         b = as_tensor(b)
         out_data = out_data + b.data
         parents.append(b)
+    if prof is not None:
+        prof.record(
+            "conv2d",
+            time.perf_counter() - t0,
+            macs=n * ho * wo * kh * kw * cin * cout,
+        )
 
     def backward(g: np.ndarray) -> None:
+        prof_b = _profiler.ACTIVE
+        if prof_b is not None:
+            tb = time.perf_counter()
+        macs_b = 0
         gmat = g.reshape(n * ho * wo, cout)
         if w.requires_grad:
             gw = cols.T @ gmat
             w._send(gw.reshape(kh, kw, cin, cout))
+            macs_b += n * ho * wo * kh * kw * cin * cout
         if x.requires_grad:
             gcols = gmat @ wmat.T
             gpatches = gcols.reshape(n, ho, wo, kh, kw, cin)
             gxp = fold_patches(gpatches, xp.shape, (sh, sw))
             h, wdt = xd.shape[1], xd.shape[2]
             x._send(gxp[:, pt : pt + h, pl : pl + wdt, :])
+            macs_b += n * ho * wo * kh * kw * cin * cout
         if b is not None and b.requires_grad:
             b._send(g.sum(axis=(0, 1, 2)))
+        if prof_b is not None:
+            prof_b.record(
+                "conv2d_bwd", time.perf_counter() - tb, macs=macs_b
+            )
 
     return Tensor._result(out_data, tuple(parents), backward)
 

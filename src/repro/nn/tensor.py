@@ -21,9 +21,12 @@ Design notes
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..obs import profiler as _profiler
 
 DEFAULT_DTYPE = np.float32
 
@@ -318,7 +321,16 @@ class Tensor:
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         a, b = self.data, other.data
+        prof = _profiler.ACTIVE  # None check only when profiling is off
+        if prof is not None:
+            t0 = time.perf_counter()
         out_data = a @ b
+        if prof is not None:
+            prof.record(
+                "matmul",
+                time.perf_counter() - t0,
+                macs=int(out_data.size) * int(a.shape[-1]),
+            )
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:

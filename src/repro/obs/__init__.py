@@ -1,0 +1,65 @@
+"""``repro.obs`` — end-to-end observability: traces, profiling, exposition.
+
+Three dependency-free layers, designed to make every later performance PR
+measurable (ROADMAP north star: a production-scale serving system):
+
+:mod:`~repro.obs.trace`
+    Tracing spans with thread-local context propagation — threaded through
+    the serving engine (request → tile fan-out → stitch, trace id surfaced
+    as an ``X-Trace-Id`` response header) and the trainer (fit → epoch →
+    step → forward/backward/optim).  Finished spans land in a bounded
+    ring-buffer exporter and, optionally, a JSONL file.
+
+:mod:`~repro.obs.profiler`
+    Opt-in per-op profiler for the :mod:`repro.nn` substrate: wall-clock,
+    call count, and analytic MACs per op (``conv2d``, ``im2col``,
+    ``matmul``), so the paper's expanded-vs-collapsed training cost
+    (§3.3, Fig. 3) is observable from the real implementation.  Zero
+    overhead when disabled (a module-level flag, no per-call indirection).
+    Front-end: ``python -m repro.cli profile``.
+
+:mod:`~repro.obs.prom`
+    Prometheus text-format exposition over the :mod:`repro.serve`
+    telemetry registry plus trace/profiler aggregates — what
+    ``GET /metrics`` serves (the JSON ``/stats`` endpoint is unchanged).
+
+See ``docs/observability.md`` for the span model, the profiler's overhead
+budget, and scraping examples.
+"""
+
+from .profiler import OpStats, Profiler, profile
+from .prom import render_prometheus, sanitize_metric_name
+from .trace import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    SpanContext,
+    Tracer,
+    attach,
+    current_span,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    span,
+    span_tree,
+)
+
+__all__ = [
+    "OpStats",
+    "Profiler",
+    "profile",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "JsonlExporter",
+    "RingBufferExporter",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "attach",
+    "current_span",
+    "get_tracer",
+    "new_trace_id",
+    "set_tracer",
+    "span",
+    "span_tree",
+]

@@ -1,0 +1,193 @@
+"""Prometheus text-format exposition (version 0.0.4), dependency-free.
+
+Renders the :class:`repro.serve.Telemetry` snapshot — plus live
+:class:`~repro.obs.trace.Tracer` span aggregates and, when one is active,
+:class:`~repro.obs.profiler.Profiler` per-op totals — as the plain-text
+format every Prometheus-compatible scraper understands::
+
+    # TYPE repro_engine_requests_total counter
+    repro_engine_requests_total 42
+    # TYPE repro_engine_request_latency_ms summary
+    repro_engine_request_latency_ms{quantile="0.5"} 31.7
+    repro_engine_request_latency_ms_sum 1234.5
+    repro_engine_request_latency_ms_count 42
+
+Conventions
+-----------
+* Metric names are the dotted telemetry names with dots mapped to
+  underscores under a ``repro_`` prefix; counters gain a ``_total``
+  suffix when they do not already carry one.
+* Histograms are exposed as Prometheus *summaries* (the telemetry layer
+  keeps exact reservoir percentiles, not fixed buckets).
+* String-valued state gauges become one-hot labelled gauges
+  (``...{state="open"} 1``), the standard enum-exposition idiom.
+* Span aggregates become three labelled counters keyed by span name:
+  ``repro_trace_spans_total``, ``repro_trace_span_ms_total``,
+  ``repro_trace_span_errors_total``.
+
+The JSON ``/stats`` endpoint is unaffected — this module only *adds* a
+scrapeable view over the same registry.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional
+
+__all__ = ["render_prometheus", "sanitize_metric_name"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+SUMMARY_QUANTILES = ((50, "0.5"), (95, "0.95"), (99, "0.99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted telemetry name to a legal Prometheus metric name."""
+    flat = _BAD_CHARS.sub("_", name.replace(".", "_"))
+    metric = f"{prefix}_{flat}" if prefix else flat
+    if not _NAME_OK.match(metric):
+        metric = "_" + metric
+    return metric
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; Prometheus wants +Inf/-Inf/NaN spelled out."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _line(metric: str, labels: Optional[Dict[str, str]], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+        )
+        return f"{metric}{{{body}}} {_fmt(value)}"
+    return f"{metric} {_fmt(value)}"
+
+
+class _Writer:
+    """Accumulates exposition lines, emitting each # TYPE header once."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def header(self, metric: str, mtype: str, help_text: str = "") -> None:
+        if metric in self._typed:
+            return
+        self._typed.add(metric)
+        if help_text:
+            self.lines.append(f"# HELP {metric} {help_text}")
+        self.lines.append(f"# TYPE {metric} {mtype}")
+
+    def sample(
+        self,
+        metric: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.lines.append(_line(metric, labels, value))
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict],
+    tracer=None,
+    profiler=None,
+    prefix: str = "repro",
+) -> str:
+    """Render a telemetry snapshot (+ optional trace/profiler aggregates).
+
+    Parameters
+    ----------
+    snapshot:
+        A :meth:`repro.serve.Telemetry.snapshot` dict — the
+        ``counters`` / ``gauges`` / ``histograms`` / ``states`` sections
+        are rendered; any extra keys (``cache``, ``config``, ...) are the
+        JSON endpoint's business and are ignored here.
+    tracer:
+        A :class:`repro.obs.trace.Tracer`; its per-span-name aggregates
+        are exposed as labelled counters.
+    profiler:
+        A :class:`repro.obs.profiler.Profiler`; per-op call/ms/MAC totals
+        are exposed as labelled counters (present only while profiling).
+
+    Returns the exposition text, newline-terminated.
+    """
+    w = _Writer()
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        w.header(metric, "counter")
+        w.sample(metric, value)
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        w.header(metric, "gauge")
+        w.sample(metric, value)
+
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        w.header(metric, "summary")
+        for pct, q in SUMMARY_QUANTILES:
+            key = f"p{pct}"
+            if key in summary:
+                w.sample(metric, summary[key], {"quantile": q})
+        count = summary.get("count", 0)
+        w.sample(f"{metric}_sum", summary.get("mean", 0.0) * count)
+        w.sample(f"{metric}_count", count)
+
+    for name, state in sorted(snapshot.get("states", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        w.header(metric, "gauge", "one-hot encoding of a string state")
+        w.sample(metric, 1, {"state": state or "unknown"})
+
+    if tracer is not None:
+        spans_m = f"{prefix}_trace_spans_total"
+        ms_m = f"{prefix}_trace_span_ms_total"
+        err_m = f"{prefix}_trace_span_errors_total"
+        aggregates = tracer.aggregates()
+        if aggregates:
+            w.header(spans_m, "counter", "finished spans by name")
+            w.header(ms_m, "counter", "total span duration by name")
+            w.header(err_m, "counter", "spans finished in error by name")
+        for name, agg in aggregates.items():
+            labels = {"name": name}
+            w.sample(spans_m, agg["count"], labels)
+            w.sample(ms_m, agg["total_ms"], labels)
+            w.sample(err_m, agg["errors"], labels)
+
+    if profiler is not None:
+        calls_m = f"{prefix}_profile_op_calls_total"
+        opms_m = f"{prefix}_profile_op_ms_total"
+        macs_m = f"{prefix}_profile_op_macs_total"
+        summary = profiler.summary()
+        if summary:
+            w.header(calls_m, "counter", "instrumented op invocations")
+            w.header(opms_m, "counter", "wall-clock per instrumented op")
+            w.header(macs_m, "counter", "analytic MACs per instrumented op")
+        for op, st in summary.items():
+            labels = {"op": op}
+            w.sample(calls_m, st["calls"], labels)
+            w.sample(opms_m, st["total_ms"], labels)
+            w.sample(macs_m, st["macs"], labels)
+
+    return "\n".join(w.lines) + "\n" if w.lines else "\n"

@@ -62,6 +62,7 @@ import numpy as np
 from ..datasets.degradation import bicubic_upscale
 from ..deploy.tiled import receptive_radius
 from ..nn import Module, Tensor, no_grad
+from ..obs import trace as _trace
 from ..resilience import CircuitBreaker, FaultInjector, RetryPolicy, WorkerDeath
 from ..train import predict_image
 from .cache import LRUCache, array_digest
@@ -114,12 +115,15 @@ class UpscaleResult:
     ``degraded=True`` means the model path failed (retries exhausted or
     breaker open) and ``image`` is the bicubic fallback — bit-identical
     to ``bicubic_upscale(lr, scale)``; ``reason`` says why.
+    ``trace_id`` identifies the request's span tree in the tracer's ring
+    buffer / JSONL export (surfaced as the ``X-Trace-Id`` HTTP header).
     """
 
     image: np.ndarray
     degraded: bool = False
     cached: bool = False
     reason: str = ""
+    trace_id: str = ""
 
 
 def plan_tiles(
@@ -162,6 +166,7 @@ class _Request:
         self.out = np.zeros(
             (lr.shape[0] * scale, lr.shape[1] * scale), dtype=np.float32
         )
+        self.ctx: Optional[_trace.SpanContext] = None
         self.pending = 0
         self.error: Optional[BaseException] = None
         self.cancelled = False
@@ -311,15 +316,42 @@ class InferenceEngine:
         return self.upscale_ex(lr_img, timeout=timeout).image
 
     def upscale_ex(
-        self, lr_img: np.ndarray, timeout: Optional[float] = None
+        self,
+        lr_img: np.ndarray,
+        timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> UpscaleResult:
-        """Like :meth:`upscale` but reports degradation/caching metadata."""
+        """Like :meth:`upscale` but reports degradation/caching metadata.
+
+        ``trace_id`` (16 hex chars) forces the trace identity of the
+        request's span tree — callers that received an ``X-Trace-Id``
+        upstream pass it here so the whole path shares one trace.  The id
+        actually used (given or generated) comes back on
+        :attr:`UpscaleResult.trace_id`.
+        """
         if self._closed:
             raise EngineClosed("engine is shut down")
         lr_img = np.asarray(lr_img, dtype=np.float32)
         if lr_img.ndim != 2:
             raise ValueError(f"expected a 2-D Y image, got shape {lr_img.shape}")
         timeout = self.default_timeout if timeout is None else timeout
+        with _trace.get_tracer().span(
+            "serve.request",
+            trace_id=trace_id,
+            model=self.key.name,
+            scale=self.scale,
+            h=int(lr_img.shape[0]),
+            w=int(lr_img.shape[1]),
+        ) as root:
+            result = self._handle_request(lr_img, timeout, root)
+            result.trace_id = root.trace_id
+            root.attrs["cached"] = result.cached
+            root.attrs["degraded"] = result.degraded
+            return result
+
+    def _handle_request(
+        self, lr_img: np.ndarray, timeout: float, root: _trace.Span
+    ) -> UpscaleResult:
         self.telemetry.counter("engine.requests_total").inc()
 
         cache_key = (self.key, array_digest(lr_img))
@@ -340,7 +372,7 @@ class InferenceEngine:
             if not self.breaker.allow():
                 self.telemetry.counter("engine.breaker_short_circuits").inc()
                 return self._degrade(lr_img, "circuit breaker open")
-            request = self._submit(lr_img)
+            request = self._submit(lr_img, root)
             if not request.done.wait(timeout):
                 request.cancelled = True
                 self.telemetry.counter("engine.requests_timeout").inc()
@@ -381,11 +413,16 @@ class InferenceEngine:
         # fresh chance (and real pixels) once it recovers.
         return UpscaleResult(out, degraded=True, reason=reason)
 
-    def _submit(self, lr_img: np.ndarray) -> _Request:
+    def _submit(self, lr_img: np.ndarray, root: _trace.Span) -> _Request:
         h, w = lr_img.shape
         specs = plan_tiles(h, w, self.tile, self.halo)
         request = _Request(lr_img, self.scale)
+        # Workers adopt the request span as parent: tile/stitch spans land
+        # in this trace no matter which pool thread runs them.
+        request.ctx = root.context
         jobs = self._group(specs)
+        root.attrs["tiles"] = len(specs)
+        root.attrs["jobs"] = len(jobs)
         request.pending = len(jobs)
         for job in jobs:
             self._tasks.put((request, job))
@@ -457,42 +494,51 @@ class InferenceEngine:
 
     def _run_job(self, request: _Request, specs: List[TileSpec]) -> None:
         """One tile job, with per-attempt fault injection and retries."""
-        attempts = self.retry.max_attempts
-        for attempt in range(1, attempts + 1):
-            try:
-                if self.fault_injector is not None:
-                    self.fault_injector.on_tile()
-                self._compute(request, specs)
-                return
-            except WorkerDeath:
-                raise
-            except Exception:
-                if attempt >= attempts or request.cancelled or self._closed:
+        with _trace.attach(request.ctx):
+            attempts = self.retry.max_attempts
+            for attempt in range(1, attempts + 1):
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.on_tile()
+                    self._compute(request, specs)
+                    return
+                except WorkerDeath:
                     raise
-                self.telemetry.counter("engine.tile_retries").inc()
-                with self._rng_lock:
-                    u = self._retry_rng.random()
-                time.sleep(self.retry.backoff(attempt, u))
+                except Exception:
+                    if attempt >= attempts or request.cancelled or self._closed:
+                        raise
+                    self.telemetry.counter("engine.tile_retries").inc()
+                    with self._rng_lock:
+                        u = self._retry_rng.random()
+                    time.sleep(self.retry.backoff(attempt, u))
 
     def _compute(self, request: _Request, specs: List[TileSpec]) -> None:
         lr, s = request.lr, self.scale
         if len(specs) > 1:
-            patches = np.stack(
-                [lr[t.hy0 : t.hy1, t.hx0 : t.hx1] for t in specs]
-            )[..., None]
-            outs = predict_batch(self.model, patches)
+            with _trace.span("serve.tile_batch", tiles=len(specs)):
+                patches = np.stack(
+                    [lr[t.hy0 : t.hy1, t.hx0 : t.hx1] for t in specs]
+                )[..., None]
+                outs = predict_batch(self.model, patches)
             self.telemetry.counter("engine.microbatches").inc()
         else:
             t = specs[0]
-            outs = [predict_image(self.model, lr[t.hy0 : t.hy1, t.hx0 : t.hx1])]
+            with _trace.span(
+                "serve.tile", y0=t.y0, x0=t.x0,
+                h=t.y1 - t.y0, w=t.x1 - t.x0,
+            ):
+                outs = [
+                    predict_image(self.model, lr[t.hy0 : t.hy1, t.hx0 : t.hx1])
+                ]
         self.telemetry.counter("engine.tiles").inc(len(specs))
-        for t, sr in zip(specs, outs):
-            cy0, cx0 = (t.y0 - t.hy0) * s, (t.x0 - t.hx0) * s
-            cy1 = cy0 + (t.y1 - t.y0) * s
-            cx1 = cx0 + (t.x1 - t.x0) * s
-            request.out[t.y0 * s : t.y1 * s, t.x0 * s : t.x1 * s] = sr[
-                cy0:cy1, cx0:cx1
-            ]
+        with _trace.span("serve.stitch", tiles=len(specs)):
+            for t, sr in zip(specs, outs):
+                cy0, cx0 = (t.y0 - t.hy0) * s, (t.x0 - t.hx0) * s
+                cy1 = cy0 + (t.y1 - t.y0) * s
+                cx1 = cx0 + (t.x1 - t.x0) * s
+                request.out[t.y0 * s : t.y1 * s, t.x0 * s : t.x1 * s] = sr[
+                    cy0:cy1, cx0:cx1
+                ]
 
     # ------------------------------------------------------------------ #
     # supervision

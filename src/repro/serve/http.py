@@ -13,6 +13,15 @@ Endpoints
 ``GET /stats``
     Full :meth:`repro.serve.InferenceEngine.stats` snapshot (JSON):
     request counters, latency percentiles, queue depth, cache accounting.
+``GET /metrics``
+    The same registry in Prometheus text format (version 0.0.4), plus
+    live tracing-span aggregates — what a metrics scraper points at
+    (see ``docs/observability.md``).  ``/stats`` is unchanged.
+
+Every ``POST /upscale`` response carries an ``X-Trace-Id`` header naming
+the request's span tree (request → tile fan-out → stitch) in the process
+tracer; a client-supplied well-formed ``X-Trace-Id`` (16 hex chars) is
+adopted instead of generating one, so the id round-trips.
 
 Built on :class:`http.server.ThreadingHTTPServer`: one thread per
 connection does the (cheap) parse/encode work and blocks on the engine,
@@ -28,6 +37,7 @@ and load balancers can tell fallback pixels from model pixels.
 from __future__ import annotations
 
 import json
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -40,6 +50,8 @@ from ..datasets import (
     ycbcr_to_rgb,
 )
 from ..datasets.degradation import bicubic_upscale
+from ..obs import get_tracer, render_prometheus
+from ..obs import profiler as _profiler
 from .engine import (
     EngineClosed,
     EngineOverloaded,
@@ -50,26 +62,34 @@ from .engine import (
 
 MAX_BODY_BYTES = 64 * 1024 * 1024  # 8K RGB16 fits with headroom
 
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_TRACE_ID_RE = re.compile(r"[0-9a-f]{16}$")
+
 
 def upscale_array_ex(engine: InferenceEngine, img: np.ndarray,
-                     timeout: Optional[float] = None) -> UpscaleResult:
+                     timeout: Optional[float] = None,
+                     trace_id: Optional[str] = None) -> UpscaleResult:
     """Upscale a decoded image, colour-handling like ``cmd_upscale``.
 
     Colour inputs follow the paper's protocol: the engine handles the Y
     channel (including its retry/degraded machinery — the result is
     tagged degraded whenever the Y path was), chroma is bicubic.
+    ``trace_id`` propagates to the engine's request span (see
+    :meth:`~repro.serve.InferenceEngine.upscale_ex`).
     """
     if img.ndim == 2:
-        return engine.upscale_ex(img, timeout=timeout)
+        return engine.upscale_ex(img, timeout=timeout, trace_id=trace_id)
     ycbcr = rgb_to_ycbcr(img)
     y_res = engine.upscale_ex(
-        np.ascontiguousarray(ycbcr[..., 0]), timeout=timeout
+        np.ascontiguousarray(ycbcr[..., 0]), timeout=timeout,
+        trace_id=trace_id,
     )
     cb = bicubic_upscale(ycbcr[..., 1], engine.scale)
     cr = bicubic_upscale(ycbcr[..., 2], engine.scale)
     rgb = ycbcr_to_rgb(np.stack([y_res.image, cb, cr], axis=2))
     return UpscaleResult(rgb, degraded=y_res.degraded, cached=y_res.cached,
-                         reason=y_res.reason)
+                         reason=y_res.reason, trace_id=y_res.trace_id)
 
 
 def upscale_array(engine: InferenceEngine, img: np.ndarray,
@@ -100,6 +120,15 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             })
         elif self.path == "/stats":
             self._send_json(200, self.engine.stats())
+        elif self.path == "/metrics":
+            text = render_prometheus(
+                self.engine.stats(),
+                tracer=get_tracer(),
+                profiler=_profiler.ACTIVE,
+            )
+            self._send_bytes(
+                200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+            )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -131,8 +160,14 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_json(400, {"error": f"bad netpbm payload: {exc}"})
             return
+        # A well-formed client trace id is adopted (so one trace spans
+        # client and server); anything else is ignored and a fresh id is
+        # generated by the engine.
+        trace_id = self.headers.get("X-Trace-Id", "").strip().lower()
+        if not _TRACE_ID_RE.fullmatch(trace_id):
+            trace_id = None
         try:
-            result = upscale_array_ex(self.engine, img)
+            result = upscale_array_ex(self.engine, img, trace_id=trace_id)
         except (EngineOverloaded, EngineClosed) as exc:
             self._send_json(503, {"error": str(exc)})
             return
@@ -147,6 +182,7 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             200, payload, "application/octet-stream",
             extra_headers={
                 "X-Degraded": "true" if result.degraded else "false",
+                "X-Trace-Id": result.trace_id,
             },
         )
 

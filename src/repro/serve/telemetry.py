@@ -101,26 +101,39 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    @staticmethod
+    def _nearest_rank(ordered: List[float], p: float) -> float:
+        if not ordered:
+            return 0.0
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
     def percentile(self, p: float) -> float:
         """Exact percentile (nearest-rank) over the retained samples."""
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
-            if not self._samples:
-                return 0.0
             ordered = sorted(self._samples)
-        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+        return self._nearest_rank(ordered, p)
 
     def summary(self) -> Dict[str, float]:
+        # One lock acquisition for everything: count/sum/min/max and the
+        # percentile source all describe the same instant, so a snapshot
+        # taken while workers observe concurrently is never torn
+        # (e.g. a count that outruns its sum, or p95 > max).
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo, hi = self._min, self._max
+            ordered = sorted(self._samples)
         return {
-            "count": self._count,
-            "mean": self.mean,
-            "min": self._min if self._count else 0.0,
-            "max": self._max if self._count else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "p50": self._nearest_rank(ordered, 50),
+            "p95": self._nearest_rank(ordered, 95),
+            "p99": self._nearest_rank(ordered, 99),
         }
 
 

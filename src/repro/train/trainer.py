@@ -19,6 +19,7 @@ from ..metrics import ssim as ssim_fn
 from ..nn import Adam, Module, Tensor, no_grad
 from ..nn.losses import LOSSES
 from ..nn.schedulers import LRScheduler
+from ..obs import trace as _trace
 from ..resilience.guard import GUARD_OK, GUARD_ROLLBACK, NumericGuard
 from .checkpoint import resume_checkpoint, save_checkpoint
 
@@ -75,21 +76,27 @@ class Trainer:
         optimizer moments untouched by this batch.  Without a guard the
         verdict is always ``"ok"`` and this is exactly ``train_step``.
         """
-        self.model.train()
-        self.optimizer.zero_grad()
-        pred = self.model(Tensor(lr_batch))
-        loss = self.loss_fn(pred, Tensor(hr_batch))
-        loss.backward()
-        if self.grad_clip is not None:
-            self._clip_gradients(self.grad_clip)
-        loss_val = loss.item()
-        verdict = GUARD_OK
-        if guard is not None:
-            verdict = guard.check(
-                loss_val, (p.grad for p in self.optimizer.params)
-            )
-        if verdict == GUARD_OK:
-            self.optimizer.step()
+        with _trace.span("train.step", batch=int(lr_batch.shape[0])) as sp:
+            self.model.train()
+            self.optimizer.zero_grad()
+            with _trace.span("train.forward"):
+                pred = self.model(Tensor(lr_batch))
+                loss = self.loss_fn(pred, Tensor(hr_batch))
+            with _trace.span("train.backward"):
+                loss.backward()
+                if self.grad_clip is not None:
+                    self._clip_gradients(self.grad_clip)
+            loss_val = loss.item()
+            verdict = GUARD_OK
+            if guard is not None:
+                verdict = guard.check(
+                    loss_val, (p.grad for p in self.optimizer.params)
+                )
+            if verdict == GUARD_OK:
+                with _trace.span("train.optim"):
+                    self.optimizer.step()
+            sp.attrs["loss"] = loss_val
+            sp.attrs["verdict"] = verdict
         return loss_val, verdict
 
     def _clip_gradients(self, max_norm: float) -> None:
@@ -151,47 +158,76 @@ class Trainer:
         stale = 0
         base_lr = self.optimizer.lr
         lr_scale = 1.0  # compounds guard rollback decays, survives scheduler
-        for step, (lr_b, hr_b) in enumerate(sampler.batches(epochs), start=1):
-            if step <= start_step:
-                continue  # replay the seeded schedule without training
-            if scheduler is not None:
-                scheduler.apply(self.optimizer, step - 1)
-                self.optimizer.lr *= lr_scale
-            elif lr_scale != 1.0:
-                self.optimizer.lr = base_lr * lr_scale
-            loss, verdict = self.guarded_step(lr_b, hr_b, guard)
-            if verdict != GUARD_OK:
-                result.skipped_steps += 1
-                if verdict == GUARD_ROLLBACK:
-                    result.rollbacks += 1
-                    if checkpoint_path:
-                        resume_checkpoint(
-                            checkpoint_path, self.model, self.optimizer
+        tracer = _trace.get_tracer()
+        steps_per_epoch = sampler.steps_per_epoch()
+        # Epoch spans are entered/exited manually at schedule boundaries;
+        # the sampler hands out one flat step stream, so the epoch index is
+        # derived from the step counter.  The try/finally closes the open
+        # epoch span on early stop or error.
+        epoch_cm = None
+        epoch_idx = -1
+        with tracer.span(
+            "train.fit", epochs=epochs, steps_per_epoch=steps_per_epoch,
+            resumed_from=start_step,
+        ) as fit_span:
+            try:
+                for step, (lr_b, hr_b) in enumerate(
+                    sampler.batches(epochs), start=1
+                ):
+                    if step <= start_step:
+                        continue  # replay the seeded schedule; no training
+                    epoch = (step - 1) // steps_per_epoch \
+                        if steps_per_epoch else 0
+                    if epoch != epoch_idx:
+                        if epoch_cm is not None:
+                            epoch_cm.__exit__(None, None, None)
+                        epoch_idx = epoch
+                        epoch_cm = tracer.span("train.epoch", epoch=epoch)
+                        epoch_cm.__enter__()
+                    if scheduler is not None:
+                        scheduler.apply(self.optimizer, step - 1)
+                        self.optimizer.lr *= lr_scale
+                    elif lr_scale != 1.0:
+                        self.optimizer.lr = base_lr * lr_scale
+                    loss, verdict = self.guarded_step(lr_b, hr_b, guard)
+                    if verdict != GUARD_OK:
+                        result.skipped_steps += 1
+                        if verdict == GUARD_ROLLBACK:
+                            result.rollbacks += 1
+                            if checkpoint_path:
+                                resume_checkpoint(
+                                    checkpoint_path, self.model,
+                                    self.optimizer,
+                                )
+                            lr_scale *= guard.lr_decay
+                    result.loss_history.append(loss)
+                    result.steps = step
+                    if log_fn is not None:
+                        log_fn(step, loss)
+                    if (checkpoint_path and checkpoint_every
+                            and step % checkpoint_every == 0
+                            and verdict == GUARD_OK):
+                        save_checkpoint(
+                            checkpoint_path, self.model, self.optimizer,
+                            step=step, keep_backup=True,
                         )
-                    lr_scale *= guard.lr_decay
-            result.loss_history.append(loss)
-            result.steps = step
-            if log_fn is not None:
-                log_fn(step, loss)
-            if (checkpoint_path and checkpoint_every
-                    and step % checkpoint_every == 0
-                    and verdict == GUARD_OK):
-                save_checkpoint(
-                    checkpoint_path, self.model, self.optimizer, step=step,
-                    keep_backup=True,
-                )
-                result.checkpoints_written += 1
-            if eval_every and eval_fn and step % eval_every == 0:
-                val = eval_fn()
-                result.val_history.append((step, val))
-                if early_stop_patience is not None:
-                    if val > best_val:
-                        best_val = val
-                        stale = 0
-                    else:
-                        stale += 1
-                        if stale >= early_stop_patience:
-                            break
+                        result.checkpoints_written += 1
+                    if eval_every and eval_fn and step % eval_every == 0:
+                        val = eval_fn()
+                        result.val_history.append((step, val))
+                        if early_stop_patience is not None:
+                            if val > best_val:
+                                best_val = val
+                                stale = 0
+                            else:
+                                stale += 1
+                                if stale >= early_stop_patience:
+                                    break
+            finally:
+                if epoch_cm is not None:
+                    epoch_cm.__exit__(None, None, None)
+            fit_span.attrs["steps"] = result.steps
+            fit_span.attrs["skipped"] = result.skipped_steps
         return result
 
 

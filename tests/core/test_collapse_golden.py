@@ -1,0 +1,94 @@
+"""Golden-value regression tests for Algorithms 1 & 2.
+
+``golden/collapse_golden.npz`` holds deterministic random inputs and the
+outputs :func:`collapse_linear_block`, :func:`collapse_bias`, and
+:func:`collapse_residual` produced for them when the fixture was
+committed.  These tests pin the collapse path *bit-exactly*: the analytic
+equivalence tests elsewhere tolerate float noise, so a subtle numeric
+change (a reordered reduction, a dtype slip) could drift under them —
+here it fails loudly instead.
+
+Regenerate after an intentional change with
+``PYTHONPATH=src python tools/gen_collapse_golden.py`` and review the
+diff in the run's numbers before committing it.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.collapse import (
+    collapse_bias,
+    collapse_linear_block,
+    collapse_residual,
+)
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "golden", "collapse_golden.npz"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(FIXTURE) as z:
+        return {k: z[k] for k in z.files}
+
+
+def test_algorithm1_pair_bit_exact(golden):
+    """5x5 -> 1x1 pair (the paper's head block) collapses to the pinned W_C."""
+    w_c = collapse_linear_block(
+        [golden["a_w1"], golden["a_w2"]], (5, 5), 1, 8
+    )
+    assert w_c.dtype == golden["a_wc"].dtype
+    assert w_c.shape == (5, 5, 1, 8)
+    np.testing.assert_array_equal(w_c, golden["a_wc"])
+
+
+def test_algorithm1_three_layer_bit_exact(golden):
+    """3-deep stack (3x3 -> 1x1 -> 1x1) matches the pinned collapse."""
+    w_c = collapse_linear_block(
+        [golden["b_w1"], golden["b_w2"], golden["b_w3"]], (3, 3), 8, 8
+    )
+    assert w_c.dtype == golden["b_wc"].dtype
+    assert w_c.shape == (3, 3, 8, 8)
+    np.testing.assert_array_equal(w_c, golden["b_wc"])
+
+
+def test_bias_fold_bit_exact(golden):
+    b_c = collapse_bias(
+        [golden["b_w1"], golden["b_w2"], golden["b_w3"]],
+        [golden["b_b1"], None, golden["b_b3"]],
+    )
+    assert b_c.shape == (8,)
+    np.testing.assert_array_equal(b_c, golden["b_bc"])
+
+
+def test_algorithm2_residual_bit_exact(golden):
+    w_r = collapse_residual(golden["b_wc"])
+    np.testing.assert_array_equal(w_r, golden["b_wr"])
+    # Shape/semantics sanity independent of the fixture: a one-hot
+    # identity tap at the spatial centre.
+    assert w_r.shape == golden["b_wc"].shape
+    centre = w_r[1, 1]
+    np.testing.assert_array_equal(centre, np.eye(8))
+    assert w_r.sum() == 8.0
+
+
+def test_golden_residual_linearity(golden):
+    """conv(x, W_C + W_R) == conv(x, W_C) + x holds for the pinned weights."""
+    from repro.core.collapse import max_abs_divergence  # noqa: F401
+    from repro.nn import Tensor, no_grad
+    from repro.nn.ops import conv2d
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 9, 9, 8))
+    with no_grad():
+        fused = conv2d(
+            Tensor(x), Tensor(golden["b_wc"] + golden["b_wr"]),
+            padding="same",
+        ).data
+        split = conv2d(
+            Tensor(x), Tensor(golden["b_wc"]), padding="same"
+        ).data + x
+    np.testing.assert_allclose(fused, split, atol=1e-12)

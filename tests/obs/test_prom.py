@@ -1,0 +1,108 @@
+"""Unit tests for the Prometheus text-format renderer."""
+
+from repro.obs import Profiler, Tracer, render_prometheus, sanitize_metric_name
+from repro.obs.prom import _escape_label, _fmt
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("engine.requests") == "repro_engine_requests"
+    assert sanitize_metric_name("a.b-c d") == "repro_a_b_c_d"
+    assert sanitize_metric_name("x", prefix="") == "x"
+    # A leading digit without a prefix gets padded to stay legal.
+    assert sanitize_metric_name("9lives", prefix="")[0] == "_"
+
+
+def test_fmt_special_values():
+    assert _fmt(float("nan")) == "NaN"
+    assert _fmt(float("inf")) == "+Inf"
+    assert _fmt(float("-inf")) == "-Inf"
+    assert _fmt(3.0) == "3"
+    assert float(_fmt(3.5)) == 3.5
+
+
+def test_escape_label():
+    assert _escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_counters_get_total_suffix_once():
+    text = render_prometheus({
+        "counters": {"engine.requests": 5, "engine.tiles_total": 7},
+    })
+    assert "# TYPE repro_engine_requests_total counter" in text
+    assert "repro_engine_requests_total 5" in text
+    # No double suffix for names that already end in _total.
+    assert "repro_engine_tiles_total 7" in text
+    assert "tiles_total_total" not in text
+
+
+def test_gauges_and_states():
+    text = render_prometheus({
+        "gauges": {"engine.queue_depth": 3.0},
+        "states": {"engine.breaker": "open", "engine.mode": ""},
+    })
+    assert "# TYPE repro_engine_queue_depth gauge" in text
+    assert "repro_engine_queue_depth 3" in text
+    assert 'repro_engine_breaker{state="open"} 1' in text
+    assert 'repro_engine_mode{state="unknown"} 1' in text
+
+
+def test_histogram_renders_as_summary():
+    text = render_prometheus({
+        "histograms": {
+            "engine.latency_ms": {
+                "count": 4, "mean": 2.5, "min": 1.0, "max": 4.0,
+                "p50": 2.0, "p95": 4.0, "p99": 4.0,
+            },
+        },
+    })
+    assert "# TYPE repro_engine_latency_ms summary" in text
+    assert 'repro_engine_latency_ms{quantile="0.5"} 2' in text
+    assert 'repro_engine_latency_ms{quantile="0.95"} 4' in text
+    assert "repro_engine_latency_ms_sum 10" in text  # mean * count
+    assert "repro_engine_latency_ms_count 4" in text
+
+
+def test_tracer_aggregates_render():
+    tracer = Tracer()
+    with tracer.span("serve.request"):
+        pass
+    try:
+        with tracer.span("serve.request"):
+            raise KeyError("x")
+    except KeyError:
+        pass
+    text = render_prometheus({}, tracer=tracer)
+    assert 'repro_trace_spans_total{name="serve.request"} 2' in text
+    assert 'repro_trace_span_errors_total{name="serve.request"} 1' in text
+    assert 'repro_trace_span_ms_total{name="serve.request"}' in text
+
+
+def test_profiler_totals_render():
+    prof = Profiler()
+    prof.record("conv2d", 0.002, macs=1000)
+    text = render_prometheus({}, profiler=prof)
+    assert 'repro_profile_op_calls_total{op="conv2d"} 1' in text
+    assert 'repro_profile_op_macs_total{op="conv2d"} 1000' in text
+    assert 'repro_profile_op_ms_total{op="conv2d"} 2' in text
+
+
+def test_extra_snapshot_sections_ignored():
+    text = render_prometheus({
+        "counters": {"x": 1},
+        "cache": {"entries": 3},
+        "config": {"workers": 4},
+    })
+    assert "cache" not in text and "config" not in text
+
+
+def test_empty_everything_still_terminates():
+    assert render_prometheus({}) == "\n"
+
+
+def test_output_is_newline_terminated_and_no_blank_lines():
+    tracer = Tracer()
+    with tracer.span("op"):
+        pass
+    text = render_prometheus({"counters": {"c": 1}}, tracer=tracer)
+    assert text.endswith("\n")
+    assert all(line.strip() for line in text.splitlines())

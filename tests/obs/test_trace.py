@@ -1,0 +1,178 @@
+"""Unit tests for the span API: nesting, propagation, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    attach,
+    current_span,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    span_tree,
+)
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture
+def tracer():
+    """A fresh default tracer, restored afterwards."""
+    t = Tracer()
+    prev = set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(prev)
+
+
+def test_single_span_identity_and_timing(tracer):
+    with tracer.span("op", foo=1) as sp:
+        assert current_span() is sp
+        assert len(sp.trace_id) == 16
+        assert len(sp.span_id) == 8
+        assert sp.parent_id is None
+    assert current_span() is None
+    assert sp.status == "ok"
+    assert sp.duration_ms >= 0.0
+    assert sp.attrs == {"foo": 1}
+    assert tracer.ring.spans() == [sp]
+
+
+def test_nesting_same_thread(tracer):
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    # Children export before parents (finish order).
+    names = [s.name for s in tracer.ring.spans()]
+    assert names == ["inner", "outer"]
+    roots, children = span_tree(tracer.ring.spans())
+    assert [r.name for r in roots] == ["outer"]
+    assert [c.name for c in children[outer.span_id]] == ["inner"]
+
+
+def test_forced_trace_id_applies_to_roots_only(tracer):
+    tid = new_trace_id()
+    with tracer.span("root", trace_id=tid) as root:
+        assert root.trace_id == tid
+        with tracer.span("child", trace_id="f" * 16) as child:
+            # A child never forks a new trace.
+            assert child.trace_id == tid
+
+
+def test_exception_marks_error_status_and_still_exports(tracer):
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    (sp,) = tracer.ring.spans()
+    assert sp.status == "error:ValueError"
+    assert current_span() is None  # stack unwound
+    agg = tracer.aggregates()["boom"]
+    assert agg["count"] == 1 and agg["errors"] == 1
+
+
+def test_attach_carries_context_across_threads(tracer):
+    captured = {}
+
+    def worker(ctx):
+        with attach(ctx):
+            with tracer.span("work") as sp:
+                captured["span"] = sp
+
+    with tracer.span("request") as root:
+        th = threading.Thread(target=worker, args=(root.context,))
+        th.start()
+        th.join()
+    child = captured["span"]
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+
+
+def test_attach_none_is_noop(tracer):
+    with attach(None):
+        with tracer.span("free") as sp:
+            assert sp.parent_id is None
+
+
+def test_module_level_span_uses_current_default(tracer):
+    with trace_mod.span("via-module"):
+        pass
+    assert [s.name for s in tracer.ring.spans()] == ["via-module"]
+    assert get_tracer() is tracer
+
+
+def test_ring_buffer_evicts_oldest():
+    ring = RingBufferExporter(capacity=3)
+    for i in range(5):
+        ring.export(Span(name=f"s{i}", trace_id="t" * 16, span_id=f"{i:08d}"))
+    assert len(ring) == 3
+    assert [s.name for s in ring.spans()] == ["s2", "s3", "s4"]
+    ring.clear()
+    assert len(ring) == 0
+
+
+def test_ring_trace_filter(tracer):
+    with tracer.span("a", trace_id="a" * 16):
+        pass
+    with tracer.span("b", trace_id="b" * 16):
+        pass
+    assert [s.name for s in tracer.ring.trace("a" * 16)] == ["a"]
+
+
+def test_jsonl_exporter_round_trips(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    tracer = Tracer(exporters=[JsonlExporter(str(path))])
+    with tracer.span("outer", k="v"):
+        with tracer.span("inner"):
+            pass
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in rows] == ["inner", "outer"]
+    assert rows[1]["attrs"] == {"k": "v"}
+    assert rows[0]["parent_id"] == rows[1]["span_id"]
+    assert all(r["status"] == "ok" for r in rows)
+
+
+def test_aggregates_accumulate(tracer):
+    for _ in range(3):
+        with tracer.span("op"):
+            pass
+    agg = tracer.aggregates()["op"]
+    assert agg["count"] == 3
+    assert agg["total_ms"] >= 0.0
+    assert agg["errors"] == 0
+
+
+def test_span_tree_orphans_become_roots():
+    spans = [
+        Span(name="child", trace_id="t" * 16, span_id="c" * 8,
+             parent_id="gone4321"),
+    ]
+    roots, children = span_tree(spans)
+    assert roots == spans and children == {}
+
+
+def test_concurrent_spans_stay_on_their_threads(tracer):
+    """Each thread's stack is isolated; no cross-thread parenting."""
+    errors = []
+
+    def worker(i):
+        try:
+            with tracer.span(f"thread{i}") as sp:
+                assert sp.parent_id is None
+                assert current_span() is sp
+        except AssertionError as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert not errors
+    assert len(tracer.ring) == 8

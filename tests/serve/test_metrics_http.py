@@ -1,0 +1,210 @@
+"""End-to-end tests for ``GET /metrics`` and ``X-Trace-Id`` round-tripping.
+
+The Prometheus exposition is validated with a hand-rolled parser of the
+text format (version 0.0.4) — no client library — and cross-checked
+against the JSON ``/stats`` endpoint so the two views of the registry
+can never drift apart silently.
+"""
+
+import json
+import re
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import encode_netpbm
+from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text):
+    """Parse exposition text; returns (samples, types).
+
+    ``samples`` maps ``(metric, frozenset(labels.items()))`` to the float
+    value; ``types`` maps metric name to its declared type.  Raises
+    ``AssertionError`` on any malformed line, so using this parser *is*
+    the format validation.
+    """
+    samples = {}
+    types = {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        assert line, "blank lines are not emitted"
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(" ", 3)
+            assert mtype in ("counter", "gauge", "summary", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = mtype
+            continue
+        if line.startswith("# HELP "):
+            assert line.split(" ", 3)[3], "HELP must carry text"
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        m = _SAMPLE_RE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        labels = {}
+        if m.group("labels"):
+            consumed = _LABEL_RE.findall(m.group("labels"))
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            assert rebuilt == m.group("labels"), \
+                f"malformed labels: {m.group('labels')!r}"
+            labels = dict(consumed)
+        raw = m.group("value")
+        value = float("nan") if raw == "NaN" else float(raw)
+        key = (m.group("name"), frozenset(labels.items()))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = value
+    return samples, types
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = ModelRegistry()
+    engine = InferenceEngine(
+        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
+        cache_size=8,
+    )
+    srv = make_server(engine, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.close()
+    thread.join(timeout=5)
+
+
+def url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def post_image(server, img, headers=None):
+    req = urllib.request.Request(
+        url(server, "/upscale"), data=encode_netpbm(img), method="POST",
+        headers=headers or {},
+    )
+    return urllib.request.urlopen(req, timeout=30)
+
+
+def scrape(server):
+    with urllib.request.urlopen(url(server, "/metrics"), timeout=30) as resp:
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in resp.headers["Content-Type"]
+        return resp.read().decode("utf-8")
+
+
+class TestMetricsEndpoint:
+    def test_parses_as_valid_prometheus_text(self, server):
+        with post_image(server, np.random.default_rng(0).random((20, 20))):
+            pass
+        samples, types = parse_prometheus(scrape(server))
+        assert samples and types
+        # Every sample belongs to a declared metric family (summaries
+        # emit _sum/_count under the family's TYPE header).
+        for name, _ in samples:
+            family = re.sub(r"_(sum|count)$", "", name)
+            assert name in types or family in types, name
+        # Counters carry the _total convention and never go negative.
+        for name, mtype in types.items():
+            if mtype == "counter":
+                assert name.endswith("_total"), name
+        for (name, _), value in samples.items():
+            if types.get(name) == "counter":
+                assert value >= 0
+
+    def test_agrees_with_stats_json(self, server):
+        with post_image(server, np.random.default_rng(1).random((18, 18))):
+            pass
+        # Quiesced server: both endpoints must describe the same registry
+        # state (scrape after /stats sees >= its counters; here nothing
+        # is in flight so they are equal).
+        with urllib.request.urlopen(url(server, "/stats"), timeout=30) as r:
+            stats = json.load(r)
+        samples, _ = parse_prometheus(scrape(server))
+        no_labels = frozenset()
+        for name, value in stats["counters"].items():
+            metric = "repro_" + name.replace(".", "_")
+            if not metric.endswith("_total"):
+                metric += "_total"
+            assert samples[(metric, no_labels)] == value, name
+        for name, value in stats["gauges"].items():
+            metric = "repro_" + name.replace(".", "_")
+            assert samples[(metric, no_labels)] == pytest.approx(value), name
+        for name, summary in stats["histograms"].items():
+            metric = "repro_" + name.replace(".", "_")
+            assert samples[(f"{metric}_count", no_labels)] == summary["count"]
+        for name, state in stats["states"].items():
+            metric = "repro_" + name.replace(".", "_")
+            key = (metric, frozenset([("state", state or "unknown")]))
+            assert samples[key] == 1, name
+
+    def test_trace_span_aggregates_present(self, server):
+        with post_image(server, np.random.default_rng(2).random((22, 22))):
+            pass
+        samples, types = parse_prometheus(scrape(server))
+        assert types.get("repro_trace_spans_total") == "counter"
+        request_key = (
+            "repro_trace_spans_total",
+            frozenset([("name", "serve.request")]),
+        )
+        tile_key = (
+            "repro_trace_spans_total",
+            frozenset([("name", "serve.tile")]),
+        )
+        assert samples[request_key] >= 1
+        assert samples[tile_key] >= 1
+
+    def test_scrape_is_monotone_in_requests(self, server):
+        def requests_total():
+            samples, _ = parse_prometheus(scrape(server))
+            return samples[("repro_engine_requests_total", frozenset())]
+
+        before = requests_total()
+        with post_image(server, np.random.default_rng(3).random((16, 24))):
+            pass
+        after = requests_total()
+        assert after == before + 1
+
+
+class TestTraceIdHeader:
+    def test_server_issues_fresh_trace_id(self, server):
+        with post_image(server, np.random.default_rng(4).random((16, 16))) \
+                as resp:
+            tid = resp.headers["X-Trace-Id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", tid)
+
+    def test_client_trace_id_round_trips(self, server):
+        sent = "abcdef0123456789"
+        img = np.random.default_rng(5).random((16, 16))
+        with post_image(server, img, {"X-Trace-Id": sent}) as resp:
+            assert resp.headers["X-Trace-Id"] == sent
+
+    def test_client_trace_id_case_insensitive(self, server):
+        img = np.random.default_rng(6).random((16, 16))
+        with post_image(server, img, {"X-Trace-Id": "ABCDEF0123456789"}) \
+                as resp:
+            assert resp.headers["X-Trace-Id"] == "abcdef0123456789"
+
+    def test_malformed_trace_id_replaced(self, server):
+        img = np.random.default_rng(7).random((16, 16))
+        for bad in ("short", "zzzzzzzzzzzzzzzz", "0" * 32):
+            with post_image(server, img, {"X-Trace-Id": bad}) as resp:
+                issued = resp.headers["X-Trace-Id"]
+                assert issued != bad
+                assert re.fullmatch(r"[0-9a-f]{16}", issued)
+
+    def test_distinct_requests_distinct_traces(self, server):
+        rng = np.random.default_rng(8)
+        with post_image(server, rng.random((16, 16))) as r1:
+            t1 = r1.headers["X-Trace-Id"]
+        with post_image(server, rng.random((16, 16))) as r2:
+            t2 = r2.headers["X-Trace-Id"]
+        assert t1 != t2

@@ -1,0 +1,249 @@
+"""Property/fuzz tests for the telemetry primitives.
+
+The histogram's exact count/sum/min/max plus reservoir percentiles are
+what ``/stats``, ``/metrics``, and the throughput benchmark report —
+these tests pin their invariants against a sorted-sample oracle and
+under concurrency, rather than against hand-picked examples.
+"""
+
+import math
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.telemetry import Gauge, Histogram, Telemetry
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_percentiles_match_sorted_sample_oracle(values):
+    """Below capacity the reservoir is exact: nearest-rank over all values."""
+    h = Histogram(capacity=256)
+    for v in values:
+        h.observe(v)
+    ordered = sorted(values)
+    for p in (0, 25, 50, 90, 95, 99, 100):
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        assert h.percentile(p) == ordered[rank]
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_summary_invariants(values):
+    h = Histogram(capacity=64)  # small: most runs overflow the reservoir
+    for v in values:
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == len(values)
+    assert s["min"] == min(values)
+    assert s["max"] == max(values)
+    np.testing.assert_allclose(s["mean"], np.mean(values), rtol=1e-9)
+    # Percentiles come from retained samples, all of which were observed,
+    # so they are bounded by the exact extrema and ordered.
+    assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+@given(st.integers(min_value=65, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_exact_stats_past_capacity(n):
+    """count/sum/min/max never degrade, however far past capacity we go."""
+    h = Histogram(capacity=64)
+    for i in range(n):
+        h.observe(float(i))
+    assert h.count == n
+    assert h.sum == sum(range(n))
+    assert h.summary()["min"] == 0.0
+    assert h.summary()["max"] == float(n - 1)
+
+
+def test_percentile_rejects_out_of_range():
+    h = Histogram()
+    h.observe(1.0)
+    for bad in (-0.1, 100.1):
+        try:
+            h.percentile(bad)
+        except ValueError:
+            continue
+        raise AssertionError(f"percentile({bad}) should raise")
+
+
+def test_empty_histogram_summary_is_zeroed():
+    s = Histogram().summary()
+    assert s == {
+        "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        "p50": 0.0, "p95": 0.0, "p99": 0.0,
+    }
+
+
+def test_concurrent_observe_exact_totals():
+    """8 writer threads: count and sum stay exact, extrema correct."""
+    h = Histogram(capacity=128)
+    per_thread = 2000
+
+    def writer(base):
+        # Integer-valued floats sum exactly in float64 at this magnitude.
+        for i in range(per_thread):
+            h.observe(float(base + i))
+
+    threads = [
+        threading.Thread(target=writer, args=(t * per_thread,))
+        for t in range(8)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+
+    n = 8 * per_thread
+    assert h.count == n
+    assert h.sum == sum(range(n))
+    s = h.summary()
+    assert s["min"] == 0.0
+    assert s["max"] == float(n - 1)
+    assert s["min"] <= s["p50"] <= s["p99"] <= s["max"]
+
+
+def test_summary_never_torn_under_concurrent_writes():
+    """Readers snapshotting mid-write see internally consistent summaries."""
+    h = Histogram(capacity=64)
+    stop = threading.Event()
+    bad = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            h.observe(float(i % 1000))
+            i += 1
+
+    def reader():
+        while not stop.is_set():
+            s = h.summary()
+            if s["count"] == 0:
+                continue
+            if not (s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]):
+                bad.append(("order", s))
+            if not (s["min"] <= s["mean"] <= s["max"]):
+                bad.append(("mean", s))
+
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for th in writers + readers:
+        th.start()
+    timer = threading.Timer(0.5, stop.set)
+    timer.start()
+    for th in writers + readers:
+        th.join()
+    timer.cancel()
+    assert not bad, bad[:3]
+
+
+@given(st.lists(finite_floats, min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_gauge_dec_can_go_negative(deltas):
+    g = Gauge()
+    expected = 0.0
+    for d in deltas:
+        g.dec(d)
+        expected -= d
+    np.testing.assert_allclose(g.value, expected, atol=1e-6)
+    g2 = Gauge()
+    g2.dec()
+    assert g2.value == -1.0
+
+
+def test_telemetry_snapshot_consistent_under_load():
+    """Counters are monotone across snapshots taken mid-flight."""
+    tel = Telemetry()
+    stop = threading.Event()
+
+    def worker():
+        c = tel.counter("requests")
+        h = tel.histogram("latency_ms", capacity=64)
+        g = tel.gauge("inflight")
+        i = 0
+        while not stop.is_set():
+            g.inc()
+            c.inc()
+            h.observe(float(i % 100))
+            g.dec()
+            i += 1
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for th in threads:
+        th.start()
+    last = -1
+    problems = []
+    for _ in range(200):
+        snap = tel.snapshot()
+        count = snap["counters"].get("requests", 0)
+        if count < last:
+            problems.append(("non-monotone counter", last, count))
+        last = count
+        hist = snap["histograms"].get("latency_ms")
+        if hist and hist["count"]:
+            if not hist["min"] <= hist["p50"] <= hist["max"]:
+                problems.append(("torn histogram", hist))
+            if hist["mean"] > hist["max"] or hist["mean"] < hist["min"]:
+                problems.append(("impossible mean", hist))
+    stop.set()
+    for th in threads:
+        th.join()
+    assert not problems, problems[:3]
+    final = tel.snapshot()
+    assert final["counters"]["requests"] == final["histograms"][
+        "latency_ms"]["count"]
+
+
+def test_engine_stats_consistent_mid_flight():
+    """Snapshots taken while the engine serves real requests are sane."""
+    from repro.serve import InferenceEngine, ModelKey, ModelRegistry
+
+    registry = ModelRegistry(seed=0)
+    engine = InferenceEngine(
+        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
+        cache_size=0,
+    )
+    try:
+        rng = np.random.default_rng(0)
+        images = [rng.random((24, 24)) for _ in range(6)]
+        errors = []
+
+        def client(img):
+            try:
+                engine.upscale(img)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(img,)) for img in images
+        ]
+        for th in threads:
+            th.start()
+        problems = []
+        last_requests = -1
+        while any(th.is_alive() for th in threads):
+            snap = engine.stats()
+            counters = snap["counters"]
+            requests = counters.get("engine.requests_total", 0)
+            if requests < last_requests:
+                problems.append(("non-monotone", last_requests, requests))
+            last_requests = requests
+            for hist in snap["histograms"].values():
+                if hist["count"] and not (
+                    hist["min"] <= hist["p50"] <= hist["max"]
+                ):
+                    problems.append(("torn", hist))
+        for th in threads:
+            th.join()
+        assert not errors
+        assert not problems, problems[:3]
+        final = engine.stats()["counters"]
+        assert final["engine.requests_total"] == len(images)
+    finally:
+        engine.shutdown()

@@ -16,7 +16,7 @@ class TestParser:
                    if isinstance(a, type(parser._actions[-1]))
                    and hasattr(a, "choices") and a.choices)
         assert {"train", "eval", "upscale", "collapse", "estimate", "nas",
-                "serve"} <= set(sub.choices)
+                "serve", "profile"} <= set(sub.choices)
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -118,3 +118,48 @@ class TestUpscaleEnsemble:
         assert main(["upscale", "--model", "M3", "--input", src,
                      "--output", dst, "--ensemble"]) == 0
         assert load_image(dst).shape == (32, 32)
+
+
+class TestProfile:
+    def test_profile_both_matches_fig3_analytic(self, tmp_path, capsys):
+        """Measured expanded/collapsed MAC ratio tracks §3.3 within 5%."""
+        jsonl = os.path.join(tmp_path, "ops.jsonl")
+        assert main(["profile", "--model", "M5", "--scale", "2",
+                     "--size", "8", "--jsonl", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert "expanded" in out and "collapsed" in out
+        assert "conv2d" in out
+
+        import json
+        import re
+
+        rows = [json.loads(line)
+                for line in open(jsonl, encoding="utf-8")]
+        macs = {"expanded": 0, "collapsed": 0}
+        for row in rows:
+            macs[row["mode"]] += row["macs"]
+
+        f, m, p, px, s = 16, 5, 256, 8 * 8, 2
+        expanded = px * ((25 * 1 * p + p * f)
+                         + m * (9 * f * p + p * f)
+                         + (25 * f * p + p * s * s))
+        collapse_cost = (25 * 1 * p * f + m * 9 * f * p * f
+                         + 25 * f * p * s * s)
+        collapsed = px * (25 * 1 * f + m * 9 * f * f
+                          + 25 * f * s * s) + collapse_cost
+        assert macs["expanded"] == expanded
+        assert macs["collapsed"] == pytest.approx(collapsed, rel=0.05)
+        ratio = macs["expanded"] / macs["collapsed"]
+        assert ratio == pytest.approx(expanded / collapsed, rel=0.05)
+
+        printed = re.search(r"MAC ratio: ([\d.]+)x", out)
+        assert printed
+        assert float(printed.group(1)) == pytest.approx(ratio, abs=0.01)
+
+    def test_profile_deployed_int8(self, capsys):
+        assert main(["profile", "--model", "M3", "--scale", "2",
+                     "--size", "8", "--mode", "deployed",
+                     "--precision", "int8"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed (int8)" in out
+        assert "conv2d" in out and "TOTAL" in out

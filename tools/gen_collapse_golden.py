@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate the golden fixture for the collapse algorithms.
+
+Writes ``tests/core/golden/collapse_golden.npz``: deterministic random
+inputs plus the exact outputs of :func:`collapse_linear_block`
+(Algorithm 1), :func:`collapse_bias`, and :func:`collapse_residual`
+(Algorithm 2) computed by the *current* implementation.
+
+``tests/core/test_collapse_golden.py`` pins these byte-for-byte, so any
+change to the collapse path — intentional or not — shows up as a diff in
+this file.  Regenerate (and review the numeric drift!) with::
+
+    PYTHONPATH=src python tools/gen_collapse_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.collapse import (  # noqa: E402
+    collapse_bias,
+    collapse_linear_block,
+    collapse_residual,
+)
+
+OUT = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "core", "golden",
+    "collapse_golden.npz",
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(20260806)
+
+    # Case A: the paper's 5x5 head block — 5x5 expand then 1x1 project.
+    a_w1 = rng.standard_normal((5, 5, 1, 16))
+    a_w2 = rng.standard_normal((1, 1, 16, 8))
+    a_wc = collapse_linear_block([a_w1, a_w2], (5, 5), 1, 8)
+
+    # Case B: a 3x3 trunk block as a THREE-layer stack (3x3 -> 1x1 -> 1x1),
+    # exercising the recursive fold beyond the common pair.
+    b_w1 = rng.standard_normal((3, 3, 8, 32))
+    b_w2 = rng.standard_normal((1, 1, 32, 32))
+    b_w3 = rng.standard_normal((1, 1, 32, 8))
+    b_wc = collapse_linear_block([b_w1, b_w2, b_w3], (3, 3), 8, 8)
+
+    # Bias fold through case B's stack (middle layer biasless, like a
+    # conv that never had one).
+    b_b1 = rng.standard_normal(32)
+    b_b3 = rng.standard_normal(8)
+    b_bc = collapse_bias([b_w1, b_w2, b_w3], [b_b1, None, b_b3])
+
+    # Algorithm 2 on case B's collapsed weight.
+    b_wr = collapse_residual(b_wc)
+
+    os.makedirs(os.path.dirname(OUT), exist_ok=True)
+    np.savez(
+        OUT,
+        a_w1=a_w1, a_w2=a_w2, a_wc=a_wc,
+        b_w1=b_w1, b_w2=b_w2, b_w3=b_w3, b_wc=b_wc,
+        b_b1=b_b1, b_b3=b_b3, b_bc=b_bc,
+        b_wr=b_wr,
+    )
+    print(f"wrote {os.path.normpath(OUT)}")
+
+
+if __name__ == "__main__":
+    main()
