@@ -96,3 +96,33 @@ def test_micro_npu_estimator(benchmark):
     graph = sesr_hw_graph(16, 5, 2, 1080, 1920)
     report = benchmark(estimate, graph, ETHOS_N78_4TOPS)
     assert report.runtime_sec > 0
+
+
+@pytest.mark.bench
+def test_micro_eager_collapsed_forward(benchmark):
+    """Eager inference forward of the collapsed SESR-M5 (serving tile)."""
+    from repro.nn import Tensor as _T
+
+    model = SESR.from_name("M5", scale=2, seed=0).collapse()
+    model.eval()
+    rng = np.random.default_rng(2)
+    x = _T(rng.random((1, 96, 96, 1)).astype(np.float32))
+
+    def fwd():
+        with no_grad():
+            return model(x)
+
+    out = benchmark(fwd)
+    assert out.shape == (1, 192, 192, 1)
+
+
+@pytest.mark.bench
+def test_micro_compiled_forward(benchmark):
+    """The same forward through the repro.compile planned-buffer executor."""
+    from repro.compile import compile_model
+
+    compiled = compile_model(SESR.from_name("M5", scale=2, seed=0).collapse())
+    rng = np.random.default_rng(2)
+    x = rng.random((1, 96, 96, 1)).astype(np.float32)
+    out = benchmark(compiled.run, x)
+    assert out.shape == (1, 192, 192, 1)

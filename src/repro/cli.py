@@ -1,5 +1,5 @@
-"""Command-line interface: train / eval / upscale / collapse / estimate /
-nas / serve / profile.
+"""Command-line interface: train / eval / upscale / collapse / compile /
+estimate / nas / serve / profile.
 
 Examples
 --------
@@ -31,6 +31,11 @@ Profile where the MACs and milliseconds go, expanded vs collapsed (Fig 3)::
 
     python -m repro.cli profile --model M5 --scale 2 --size 64 \
         --jsonl profile.jsonl
+
+Inspect what the graph compiler does to the collapsed net (see
+docs/compiler.md)::
+
+    python -m repro.cli compile --model M5 --scale 2 --size 96 --dump-ir
 """
 
 from __future__ import annotations
@@ -90,7 +95,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"training {args.model} (x{args.scale}) for {args.epochs} epochs ...")
     result = run_experiment(
         model, config, suites,
-        log_fn=(lambda s, l: print(f"  step {s}: loss {l:.4f}"))
+        log_fn=(lambda step, loss: print(f"  step {step}: loss {loss:.4f}"))
         if args.verbose else None,
     )
     print(f"final loss: {result.train.final_loss:.4f}")
@@ -135,6 +140,18 @@ def cmd_upscale(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.scale, args.seed)
     if args.ckpt:
         load_state(model, args.ckpt)
+    if not args.no_compile:
+        # Default inference path: collapse (exact, Algorithm 2) and run the
+        # compiled planned-buffer executor; --no-compile keeps the eager
+        # training-shaped forward as an escape hatch.
+        from .compile import CaptureError, compile_model
+
+        deployed = model.collapse() if hasattr(model, "collapse") else model
+        deployed.eval()
+        try:
+            model = compile_model(deployed)
+        except CaptureError:
+            model = deployed
     img = load_image(args.input)
 
     def run_y(y: np.ndarray) -> np.ndarray:
@@ -172,6 +189,59 @@ def cmd_collapse(args: argparse.Namespace) -> int:
         f"-> {model.collapsed_num_parameters():,} inference weights "
         f"({args.out})"
     )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .compile import compile_model
+    from .nn import load_state
+    from .utils import format_table
+
+    model = _build_model(args.model, args.scale, args.seed)
+    if args.ckpt:
+        load_state(model, args.ckpt)
+    if hasattr(model, "collapse"):
+        model = model.collapse()
+    if args.precision == "int8":
+        if not hasattr(model, "convs"):
+            print(f"repro compile: error: --precision int8 requires a SESR "
+                  f"model, got {args.model}", file=sys.stderr)
+            return 2
+        from .deploy import quantize_sesr
+
+        model = quantize_sesr(model)
+    model.eval()
+    compiled = compile_model(model, optimize=not args.no_optimize)
+    graph = compiled.graph
+
+    rows = [
+        [e.name, str(e.changes), f"{e.nodes_before} -> {e.nodes_after}"]
+        for e in (compiled.pass_log or [])
+    ]
+    if rows:
+        print(format_table(["pass", "changes", "nodes"], rows,
+                           title=f"{compiled.source or args.model}: passes"))
+    else:
+        print(f"{compiled.source or args.model}: optimisation disabled "
+              f"({len(graph.nodes)} nodes)")
+
+    mem = compiled.memory_stats(args.size, args.size)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["nodes", f"{len(graph.nodes)}"],
+            ["arena slots", f"{mem['slots']}"],
+            ["planned peak", f"{mem['arena_bytes']:,} B"],
+            ["naive peak", f"{mem['naive_bytes']:,} B"],
+            ["liveness lower bound", f"{mem['lower_bound_bytes']:,} B"],
+            ["scratch (cols/tmp/pads)", f"{mem['scratch_bytes']:,} B"],
+            ["MACs", f"{graph.macs(args.size, args.size):,}"],
+            ["receptive radius", f"{compiled.receptive_radius} px"],
+        ],
+        title=f"plan @ {args.size}x{args.size} LR ({args.precision})",
+    ))
+    if args.dump_ir:
+        print(graph.pretty())
     return 0
 
 
@@ -343,6 +413,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             degraded_mode=not args.no_degraded,
             wedge_timeout=args.timeout * 4,
+            compiled=not args.no_compile,
         )
     except (KeyError, FileNotFoundError, CheckpointCorrupt) as exc:
         print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
@@ -407,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile size for tiled inference (0 = full frame)")
     p.add_argument("--ensemble", action="store_true",
                    help="geometric x8 self-ensemble (slower, ~+0.1 dB)")
+    p.add_argument("--no-compile", action="store_true",
+                   help="run the eager forward instead of the compiled "
+                        "planned-buffer executor")
     p.set_defaults(fn=cmd_upscale)
 
     p = sub.add_parser("collapse", help="export the collapsed inference net")
@@ -458,9 +532,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-degraded", action="store_true",
                    help="fail requests instead of falling back to "
                         "bicubic when the model path is unavailable")
+    p.add_argument("--no-compile", action="store_true",
+                   help="serve the eager collapsed net instead of the "
+                        "compiled plan-cache path")
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "compile",
+        help="compile the collapsed net: dump IR, pass log, and plan stats",
+    )
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--precision", choices=("fp32", "int8"), default="fp32",
+                   help="deployed arithmetic (int8 = weights-only PTQ)")
+    p.add_argument("--size", type=int, default=96,
+                   help="LR input height/width for plan/MAC stats")
+    p.add_argument("--dump-ir", action="store_true",
+                   help="print the optimised graph node by node")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="skip the pass pipeline (capture + plan only)")
+    p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser(
         "profile",

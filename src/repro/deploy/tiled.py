@@ -35,11 +35,15 @@ def receptive_radius(model_or_specs) -> int:
     """
     if isinstance(model_or_specs, Module):
         model = model_or_specs
+        # Compiled models precompute their radius from the graph.
+        rr = getattr(model, "receptive_radius", None)
+        if isinstance(rr, int):
+            return rr
         # Collapsed/quantized SESR-style nets expose first/convs/last
         # directly; fall back to the spec builder for everything else.
         if all(hasattr(model, a) for a in ("first", "convs", "last")):
             layers = [model.first, *model.convs, model.last]
-            return sum((max(l.kernel_size) - 1) // 2 for l in layers)
+            return sum((max(layer.kernel_size) - 1) // 2 for layer in layers)
         specs = specs_from_module(model)
     else:
         specs = list(model_or_specs)

@@ -167,9 +167,9 @@ def estimate(graph: InferenceGraph, npu: NPUSpec) -> PerfReport:
         )
         current_res = out_res
 
-    total_macs = sum(l.macs for l in layers)
-    dram = sum(l.dram_bytes for l in layers)
-    runtime = sum(l.time_sec for l in layers)
+    total_macs = sum(layer.macs for layer in layers)
+    dram = sum(layer.dram_bytes for layer in layers)
+    runtime = sum(layer.time_sec for layer in layers)
     return PerfReport(
         name=graph.name,
         total_macs=total_macs,

@@ -5,6 +5,14 @@ An :class:`InferenceGraph` binds a :class:`repro.metrics.LayerSpec` sequence
 are provided for the two networks Table 3 simulates — the hardware variants
 of SESR (ReLU, no input residual, §5.5) and FSRCNN (ReLU) — plus a generic
 constructor for any spec list.
+
+Spec sequences come from the compiler IR (:mod:`repro.compile`): the
+builders construct the typed static graph with
+:func:`repro.compile.sesr_ir` / :func:`repro.compile.fsrcnn_ir` and export
+it through :func:`repro.compile.to_layer_specs`, so the estimator, the MAC
+counter, and the compiled executor all consume one model description
+(cross-checked against the analytic ``sesr_specs``/``fsrcnn_specs``
+formulas by ``tests/compile/test_ir.py``).
 """
 
 from __future__ import annotations
@@ -12,12 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..metrics.complexity import (
-    LayerSpec,
-    count_macs,
-    fsrcnn_specs,
-    sesr_specs,
-)
+from ..compile import fsrcnn_ir, sesr_ir, to_layer_specs
+from ..metrics.complexity import LayerSpec, count_macs
 
 
 @dataclass(frozen=True)
@@ -45,12 +49,12 @@ def sesr_hw_graph(
     name: str = "",
 ) -> InferenceGraph:
     """SESR hardware variant (§5.5): ReLU, long input residual removed."""
-    specs = sesr_specs(
+    specs = to_layer_specs(sesr_ir(
         f, m, scale,
         input_residual=False,
         feature_residual=True,
         activation="relu",
-    )
+    ))
     return InferenceGraph(name or f"SESR(f={f},m={m})x{scale}", specs, in_h, in_w)
 
 
@@ -58,7 +62,7 @@ def sesr_paper_graph(
     f: int, m: int, scale: int, in_h: int, in_w: int, name: str = ""
 ) -> InferenceGraph:
     """Full-quality SESR (PReLU + both long residuals)."""
-    specs = sesr_specs(f, m, scale)
+    specs = to_layer_specs(sesr_ir(f, m, scale))
     return InferenceGraph(name or f"SESR(f={f},m={m})x{scale}", specs, in_h, in_w)
 
 
@@ -66,7 +70,7 @@ def fsrcnn_graph(
     scale: int, in_h: int, in_w: int, activation: str = "relu", name: str = ""
 ) -> InferenceGraph:
     """FSRCNN with the §5.6 ReLU substitution."""
-    specs = fsrcnn_specs(scale, activation=activation)
+    specs = to_layer_specs(fsrcnn_ir(scale, activation=activation))
     return InferenceGraph(name or f"FSRCNN x{scale}", specs, in_h, in_w)
 
 

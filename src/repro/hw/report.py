@@ -47,7 +47,7 @@ def bottleneck(report: PerfReport) -> Tuple[str, float]:
     """The layer consuming the largest share of runtime: (name, fraction)."""
     if not report.layers or report.runtime_sec == 0:
         raise ValueError("empty report")
-    worst = max(report.layers, key=lambda l: l.time_sec)
+    worst = max(report.layers, key=lambda layer: layer.time_sec)
     return worst.name, worst.time_sec / report.runtime_sec
 
 

@@ -169,13 +169,22 @@ def vdsr_specs(scale: int, depth: int = 20, width: int = 64) -> List[LayerSpec]:
 
 
 def specs_from_module(model) -> List[LayerSpec]:
-    """Derive specs from a live ``repro`` model (SESR/FSRCNN instances)."""
-    # Imported lazily to keep metrics importable without the core package.
+    """Derive specs from a live ``repro`` model (SESR/FSRCNN instances).
+
+    Routed through the compiler IR (:mod:`repro.compile`) so accounting,
+    the NPU estimator, and the compiled executor all describe the model
+    identically; :func:`sesr_specs`/:func:`fsrcnn_specs` above remain the
+    independent closed-form builders the IR export is cross-checked
+    against.
+    """
+    # Imported lazily to keep metrics importable without the core package
+    # (and because repro.compile itself imports this module).
+    from ..compile import fsrcnn_ir, sesr_ir, to_layer_specs
     from ..core.fsrcnn import FSRCNN
     from ..core.sesr import SESR, CollapsedSESR
 
     if isinstance(model, (SESR, CollapsedSESR)):
-        return sesr_specs(
+        return to_layer_specs(sesr_ir(
             model.f,
             model.m,
             model.scale,
@@ -183,11 +192,12 @@ def specs_from_module(model) -> List[LayerSpec]:
             feature_residual=model.feature_residual,
             activation=model.activation,
             two_stage_head=model.two_stage_head,
-        )
+        ))
     if isinstance(model, FSRCNN):
-        return fsrcnn_specs(
-            model.scale, model.d, model.s, model.m, activation=model.activation
-        )
+        return to_layer_specs(fsrcnn_ir(
+            model.scale, model.d, model.s, model.m,
+            activation=model.activation,
+        ))
     raise TypeError(f"no spec builder for {type(model).__name__}")
 
 

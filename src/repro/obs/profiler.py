@@ -38,13 +38,18 @@ Op naming convention
 The profiler is process-wide (one active profiler at a time) and
 thread-safe: the serving worker pool and HTTP handler threads may record
 concurrently.
+
+The compiled executor (:mod:`repro.compile`) reports into the same
+records: its planned-buffer convolutions emit ``conv2d``/``im2col``
+entries with the identical analytic MAC convention, so ``repro profile``
+and the cross-consistency tests see one accounting regardless of which
+engine ran the model.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional

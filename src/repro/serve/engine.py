@@ -54,7 +54,7 @@ import queue
 import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -230,6 +230,13 @@ class InferenceEngine:
         Worker-pool supervision: every ``supervise_interval`` seconds dead
         workers are respawned, and (when ``wedge_timeout`` is set) workers
         stuck on one job longer than that are retired and replaced.
+    compiled:
+        When ``True`` (default) run the model through
+        :func:`repro.compile.compile_model` via the registry's plan cache
+        (bit-identical output, fused ops, planned buffers); models the
+        compiler cannot capture fall back to eager transparently
+        (``compile_fallback`` in ``/stats``).  ``False`` — the
+        ``--no-compile`` escape hatch — always runs the eager network.
     """
 
     def __init__(
@@ -252,6 +259,7 @@ class InferenceEngine:
         supervise: bool = True,
         supervise_interval: float = 0.2,
         wedge_timeout: Optional[float] = None,
+        compiled: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -263,7 +271,22 @@ class InferenceEngine:
             raise ValueError("supervise_interval must be positive")
         self.registry = registry
         self.key = key
-        self.model = registry.get(key)
+        # Run the compiled plan by default (bit-identical to eager, see
+        # repro.compile); models the compiler cannot capture fall back to
+        # the eager network transparently.
+        self.compiled = False
+        self.compile_fallback = False
+        if compiled:
+            from ..compile import CaptureError
+
+            try:
+                self.model = registry.get_compiled(key)
+                self.compiled = True
+            except CaptureError:
+                self.model = registry.get(key)
+                self.compile_fallback = True
+        else:
+            self.model = registry.get(key)
         self.scale = key.scale
         self.tile = (tile, tile) if isinstance(tile, int) else tuple(tile)
         self.halo = receptive_radius(self.model) if halo is None else halo
@@ -636,6 +659,8 @@ class InferenceEngine:
             "tile": list(self.tile),
             "halo": self.halo,
             "microbatch": self.microbatch,
+            "compiled": self.compiled,
+            "compile_fallback": self.compile_fallback,
             "retry_attempts": self.retry.max_attempts,
             "degraded_mode": self.degraded_mode,
             "supervised": self._supervisor is not None,

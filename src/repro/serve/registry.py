@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from .. import zoo
 from ..nn import Module, load_state
@@ -71,6 +71,12 @@ class ModelRegistry:
         self._models: Dict[ModelKey, Module] = {}
         self._lock = threading.Lock()
         self._collapse_counts: Dict[ModelKey, int] = {}
+        # Plan cache: ModelKey -> CompiledModel.  A separate lock so a slow
+        # compile never blocks plain get() callers (and because _lock is
+        # not reentrant — get_compiled calls get()).
+        self._compiled: Dict[ModelKey, Module] = {}
+        self._compile_lock = threading.Lock()
+        self._compile_counts: Dict[ModelKey, int] = {}
 
     def get(self, key: ModelKey) -> Module:
         """Return the deployable network for ``key``, building it once.
@@ -119,6 +125,34 @@ class ModelRegistry:
         deployed.eval()
         return deployed
 
+    def get_compiled(self, key: ModelKey) -> Module:
+        """Return the compiled plan for ``key``, compiling at most once.
+
+        This is the serving plan cache: capture → optimise → plan runs
+        once per key; every engine/worker thereafter executes the same
+        :class:`~repro.compile.CompiledModel` (its per-shape arenas are
+        thread-local, so sharing is safe).  Unsupported models raise
+        :class:`~repro.compile.CaptureError` — callers fall back to
+        :meth:`get`.
+        """
+        compiled = self._compiled.get(key)
+        if compiled is not None:
+            return compiled
+        eager = self.get(key)  # outside _compile_lock: get() takes _lock
+        with self._compile_lock:
+            if key not in self._compiled:
+                from ..compile import compile_model
+
+                self._compiled[key] = compile_model(eager)
+                self._compile_counts[key] = (
+                    self._compile_counts.get(key, 0) + 1
+                )
+            return self._compiled[key]
+
+    def compile_count(self, key: ModelKey) -> int:
+        """How many times ``key`` was compiled (tests pin this to <= 1)."""
+        return self._compile_counts.get(key, 0)
+
     def collapse_count(self, key: ModelKey) -> int:
         """How many times ``key`` was collapsed (tests pin this to <= 1)."""
         return self._collapse_counts.get(key, 0)
@@ -129,15 +163,24 @@ class ModelRegistry:
 
     def evict(self, key: ModelKey) -> bool:
         """Drop a memoized network (e.g. after a checkpoint refresh)."""
+        with self._compile_lock:
+            self._compiled.pop(key, None)
         with self._lock:
             return self._models.pop(key, None) is not None
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            out = {
                 "models_loaded": len(self._models),
                 "collapses": dict(
                     (f"{k.name}:x{k.scale}:{k.precision}", v)
                     for k, v in self._collapse_counts.items()
                 ),
             }
+        with self._compile_lock:
+            out["plans_compiled"] = len(self._compiled)
+            out["compiles"] = dict(
+                (f"{k.name}:x{k.scale}:{k.precision}", v)
+                for k, v in self._compile_counts.items()
+            )
+        return out

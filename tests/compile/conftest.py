@@ -1,0 +1,27 @@
+"""Shared helpers for the compiler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+
+
+def eager_out(model, x: np.ndarray) -> np.ndarray:
+    """Reference forward through the eager model (inference mode)."""
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+@pytest.fixture
+def nhwc():
+    """A deterministic non-square NHWC input batch factory."""
+
+    def make(n: int = 1, h: int = 24, w: int = 20, c: int = 1,
+             seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, h, w, c)).astype(np.float32)
+
+    return make

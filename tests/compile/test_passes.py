@@ -1,0 +1,204 @@
+"""Optimisation passes: bit-exactness, structure, and the opt-in rewrites."""
+
+import numpy as np
+
+from tests.compile.conftest import eager_out
+from repro.compile import (
+    CompiledModel,
+    DEFAULT_PASSES,
+    Graph,
+    Node,
+    PassManager,
+    capture,
+    eliminate_dead_nodes,
+    fold_constants,
+    fold_identity_residual,
+    fuse_conv_activation,
+    fuse_residual_add,
+    make_quantize_pass,
+    to_layer_specs,
+)
+from repro.core import SESR
+from repro.core.carn import CARN_M
+from repro.deploy.quantize import (
+    QuantizedSESR,
+    calibrate_activations,
+    quantize_sesr,
+)
+
+
+def _collapsed(name="M5", scale=2):
+    return SESR.from_name(name, scale=scale, expansion=16).collapse()
+
+
+class TestDefaultPipeline:
+    def test_optimised_graph_is_bit_identical(self, nhwc):
+        model = _collapsed()
+        x = nhwc()
+        raw = capture(model)
+        opt, _ = PassManager().run(raw)
+        got_raw = CompiledModel(raw.copy()).run(x)
+        got_opt = CompiledModel(opt).run(x)
+        ref = eager_out(model, x)
+        assert np.array_equal(got_raw, ref)
+        assert np.array_equal(got_opt, ref)
+
+    def test_sesr_collapses_to_conv_chain(self):
+        opt, _ = PassManager().run(capture(_collapsed()))
+        kinds = {n.op for n in opt.nodes.values()}
+        assert kinds == {"input", "conv", "depth_to_space"}
+        # Both long residuals fused into conv epilogues (Fig. 2(d) adds).
+        adds = [e for n in opt.nodes.values()
+                for e in n.epilogues if e[0] == "add"]
+        assert len(adds) == 2
+
+    def test_carn_act_of_add_needs_the_second_act_sweep(self):
+        # relu(h + x) only becomes fusible once the add folds — the reason
+        # DEFAULT_PASSES runs fuse_conv_activation twice.
+        model = CARN_M(scale=2, width=16, groups=4, blocks=2, depth=2)
+        g = capture(model)
+        first = fuse_conv_activation(g)
+        g.infer_shapes()
+        fuse_residual_add(g)
+        g.infer_shapes()
+        second = fuse_conv_activation(g)
+        g.infer_shapes()
+        assert first > 0 and second > 0
+
+    def test_export_is_invariant_under_fusion(self):
+        raw = capture(_collapsed())
+        opt, _ = PassManager().run(raw)
+        assert to_layer_specs(opt) == to_layer_specs(raw)
+
+    def test_pass_log_records_every_pipeline_step(self):
+        _, log = PassManager().run(capture(_collapsed()))
+        assert [e.name for e in log] == [
+            p.__name__ for p in DEFAULT_PASSES
+        ]
+        assert all(e.nodes_after <= e.nodes_before for e in log)
+        by_name = {}
+        for e in log:
+            by_name.setdefault(e.name, e)
+        assert by_name["fuse_conv_activation"].changes > 0
+        assert by_name["fuse_residual_add"].changes == 2
+
+
+class TestFoldConstants:
+    def test_int8_weight_dequant_is_folded_bit_exactly(self, nhwc):
+        model = quantize_sesr(_collapsed())
+        x = nhwc()
+        g = capture(model)
+        assert any(
+            n.op == "conv" and n.attrs.get("weight") is None
+            for n in g.nodes.values()
+        )
+        folded = g.copy()
+        assert fold_constants(folded) > 0
+        assert all(
+            n.attrs.get("weight") is not None
+            for n in folded.nodes.values() if n.op == "conv"
+        )
+        ref = eager_out(model, x)
+        assert np.array_equal(CompiledModel(folded).run(x), ref)
+
+    def test_all_const_subgraph_is_evaluated(self):
+        g = Graph("t")
+        g.add_input("input", 1)
+        value = np.array([[[[-1.0]], [[2.0]]]], dtype=np.float32)
+        g.add(Node("c", "const", [], {"value": value}))
+        g.add(Node("r", "relu", ["c"]))
+        g.add(Node("a", "add", ["input", "r"]))
+        g.set_outputs(["a"])
+        g.infer_shapes()
+        # 'a' depends on the input, so only 'r' folds.
+        assert fold_constants(g) == 1
+        assert g.nodes["r"].op == "const"
+        np.testing.assert_array_equal(
+            g.nodes["r"].attrs["value"], np.maximum(value, 0.0)
+        )
+
+
+class TestDeadNodeElimination:
+    def test_unreachable_branch_is_removed_inputs_kept(self):
+        g = sesr_like = capture(_collapsed("M3"))
+        g.add(Node("orphan", "relu", ["first_5x5"]))
+        g.infer_shapes()
+        assert eliminate_dead_nodes(g) == 1
+        assert "orphan" not in g.nodes
+        assert sesr_like.inputs == ["input"]
+
+
+class TestFoldIdentityResidual:
+    def _residual_graph(self, seed=0):
+        rng = np.random.default_rng(seed)
+        w = (rng.standard_normal((3, 3, 8, 8)) * 0.1).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        g = Graph("res")
+        g.add_input("input", 8)
+        g.add(Node("c", "conv", ["input"],
+                   {"kernel": (3, 3), "cin": 8, "cout": 8,
+                    "weight": w, "bias": b}))
+        g.add(Node("a", "add", ["c", "input"]))
+        g.set_outputs(["a"])
+        return g.infer_shapes(), w
+
+    def test_rewrites_weight_to_w_plus_identity(self):
+        from repro.core.collapse import identity_conv_rect
+
+        g, w = self._residual_graph()
+        assert fold_identity_residual(g) == 1
+        g.infer_shapes()
+        assert "a" not in g.nodes and g.outputs == ["c"]
+        np.testing.assert_array_equal(
+            g.nodes["c"].attrs["weight"],
+            w + identity_conv_rect(3, 3, 8).astype(np.float32),
+        )
+
+    def test_result_matches_explicit_add_to_tolerance(self, nhwc):
+        g, _ = self._residual_graph()
+        x = nhwc(c=8)
+        before = CompiledModel(g.copy()).run(x)
+        fold_identity_residual(g)
+        g.infer_shapes()
+        after = CompiledModel(g).run(x)
+        # W+I reassociates the float sum: equal to tolerance, not bytes.
+        np.testing.assert_allclose(after, before, atol=1e-5, rtol=1e-5)
+
+    def test_skips_channel_mismatch(self):
+        # SESR's long black residual adds a 1-channel input to s² channels:
+        # broadcastable, but not identity-foldable.
+        g = capture(_collapsed())
+        assert fold_identity_residual(g) == 0
+
+
+class TestQuantizePass:
+    def test_weights_only_matches_quantize_sesr(self, nhwc):
+        model = _collapsed()
+        x = nhwc()
+        g = capture(model)
+        assert make_quantize_pass()(g) == len(
+            [n for n in g.nodes.values() if n.op == "conv"]
+        )
+        g.infer_shapes()
+        ref = eager_out(quantize_sesr(model), x)
+        assert np.array_equal(CompiledModel(g).run(x), ref)
+
+    def test_activation_observers_match_quantized_sesr(self, nhwc):
+        model = _collapsed()
+        x = nhwc()
+        rng = np.random.default_rng(7)
+        calib = [rng.random((12, 12)).astype(np.float32) for _ in range(2)]
+        observers = calibrate_activations(model, calib)
+        reference = QuantizedSESR(model, 8, 8, observers)
+
+        # Map the observer keys onto the IR node names.
+        act_params = {"first_5x5": observers["first"].params(8),
+                      "last_5x5": observers["last"].params(8)}
+        for i in range(model.m):
+            act_params[f"conv3x3_{i}"] = observers[f"conv{i}"].params(8)
+        g = capture(model)
+        make_quantize_pass(act_params)(g)
+        g.infer_shapes()
+        assert np.array_equal(
+            CompiledModel(g).run(x), eager_out(reference, x)
+        )

@@ -1,0 +1,107 @@
+"""Buffer planner: liveness, colouring quality, and the no-overlap property."""
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    Graph,
+    Node,
+    PassManager,
+    capture,
+    fsrcnn_ir,
+    plan_buffers,
+    sesr_ir,
+)
+from repro.core import SESR
+
+ZOO = [("M3", 2), ("M5", 2), ("M5", 4), ("M7", 2), ("M11", 2), ("M11", 4),
+       ("XL", 2)]
+
+
+def _chain(depth: int = 4, ch: int = 8) -> Graph:
+    g = Graph("chain")
+    g.add_input("input", ch)
+    prev = "input"
+    for i in range(depth):
+        rng = np.random.default_rng(i)
+        w = rng.standard_normal((3, 3, ch, ch)).astype(np.float32)
+        g.add(Node(f"c{i}", "conv", [prev],
+                   {"kernel": (3, 3), "cin": ch, "cout": ch, "weight": w}))
+        prev = f"c{i}"
+    g.set_outputs([prev])
+    return g.infer_shapes()
+
+
+class TestPlanQuality:
+    def test_pure_chain_plan_hits_the_lower_bound(self):
+        plan = plan_buffers(_chain())
+        assert plan.planned_units == plan.lower_bound_units
+        # A chain needs exactly two ping-pong buffers.
+        assert len(plan.slot_units) == 2
+
+    @pytest.mark.parametrize("name,scale", ZOO)
+    def test_every_zoo_variant_beats_naive_allocation(self, name, scale):
+        model = SESR.from_name(name, scale=scale, expansion=16).collapse()
+        opt, _ = PassManager().run(capture(model))
+        plan = plan_buffers(opt)
+        assert plan.planned_units < plan.naive_units  # strictly better
+        assert plan.planned_units >= plan.lower_bound_units  # and sound
+
+    def test_sesr_m5_reaches_its_lower_bound(self):
+        opt, _ = PassManager().run(sesr_ir(16, 5, 2))
+        plan = plan_buffers(opt)
+        assert plan.planned_units == plan.lower_bound_units
+
+    def test_fsrcnn_plan(self):
+        plan = plan_buffers(fsrcnn_ir(2))
+        assert plan.lower_bound_units <= plan.planned_units < plan.naive_units
+
+
+class TestPlanSoundness:
+    @pytest.mark.parametrize("graph", [
+        sesr_ir(16, 5, 2), sesr_ir(16, 11, 4), fsrcnn_ir(2),
+        sesr_ir(16, 5, 4, two_stage_head=True),
+    ], ids=["m5x2", "m11x4", "fsrcnn", "two-stage"])
+    def test_slot_sharers_have_disjoint_live_intervals(self, graph):
+        plan = plan_buffers(graph)
+        index = {name: i for i, name in enumerate(graph.nodes)}
+        consumers = graph.consumers()
+        interval = {
+            n: (index[n],
+                max((index[c] for c in consumers[n]), default=index[n]))
+            for n in plan.order
+        }
+        by_slot = {}
+        for n, s in plan.slot_of.items():
+            by_slot.setdefault(s, []).append(n)
+        for members in by_slot.values():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    (s0, e0), (s1, e1) = interval[a], interval[b]
+                    assert e0 < s1 or e1 < s0, (a, b)
+
+    def test_slots_fit_their_occupants(self):
+        plan = plan_buffers(sesr_ir(16, 5, 4))
+        for n, s in plan.slot_of.items():
+            assert plan.node_units[n] <= plan.slot_units[s]
+
+    def test_externals_are_not_planned(self):
+        g = sesr_ir(16, 3, 2)
+        plan = plan_buffers(g)
+        assert "input" in plan.external
+        assert g.outputs[0] in plan.external
+        assert not set(plan.external) & set(plan.slot_of)
+
+
+class TestByteMath:
+    def test_bytes_scale_with_shape(self):
+        plan = plan_buffers(sesr_ir(16, 5, 2))
+        assert plan.arena_bytes(10, 12) == 4 * 10 * 12 * plan.planned_units
+        assert plan.naive_bytes(10, 12, n=3) == (
+            4 * 3 * 10 * 12 * plan.naive_units
+        )
+
+    def test_stats_keys(self):
+        stats = plan_buffers(sesr_ir(16, 5, 2)).stats()
+        assert set(stats) == {"planned_nodes", "slots", "planned_units",
+                              "naive_units", "lower_bound_units"}

@@ -4,7 +4,7 @@ paper's parameter formula."""
 import numpy as np
 import pytest
 
-from repro.core import SESR, SESR_CONFIGS, CollapsedSESR
+from repro.core import SESR, SESR_CONFIGS
 from repro.nn import Tensor, no_grad
 
 

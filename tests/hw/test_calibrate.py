@@ -1,6 +1,5 @@
 """Calibration regression tests: the frozen spec must keep matching Table 3."""
 
-import numpy as np
 import pytest
 
 from repro.hw import ETHOS_N78_4TOPS, anchor_rows, fit_spec, residuals
@@ -23,9 +22,6 @@ class TestFrozenSpec:
 
     def test_anchor_macs_sanity(self):
         """Published MAC counts are architecture arithmetic — match exactly."""
-        from repro.hw.estimator import estimate
-        from repro.hw.tiling import estimate_tiled
-
         for anchor, _ in anchor_rows():
             assert anchor.macs_g > 0
 

@@ -1,7 +1,6 @@
 """NPU performance-estimator tests: Fig. 1(b) theoretical numbers, roofline
 behaviour, lane utilisation, spill logic, and the Table 3 shape claims."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (
@@ -68,20 +67,20 @@ class TestRooflineBehaviour:
     def test_infinite_bandwidth_compute_bound(self):
         npu = NPUSpec(dram_bandwidth=float("inf"))
         report = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), npu)
-        assert all(l.bound == "compute" for l in report.layers if l.macs > 0)
+        assert all(layer.bound == "compute" for layer in report.layers if layer.macs > 0)
 
     def test_tiny_bandwidth_memory_bound(self):
         npu = NPUSpec(dram_bandwidth=1e6)
         report = estimate(sesr_hw_graph(16, 5, 2, 1080, 1920), npu)
-        conv_layers = [l for l in report.layers if l.kind == "conv"]
-        assert all(l.bound == "memory" for l in conv_layers)
+        conv_layers = [layer for layer in report.layers if layer.kind == "conv"]
+        assert all(layer.bound == "memory" for layer in conv_layers)
 
     def test_small_maps_stay_in_sram(self):
         """At tiny resolution nothing spills; only graph I/O hits DRAM."""
         npu = NPUSpec(sram_bytes=10e6)
         report = estimate(sesr_hw_graph(16, 5, 2, 32, 32), npu)
-        interior = [l for l in report.layers[1:-1] if l.kind == "conv"]
-        weight_only = [l.dram_bytes for l in interior]
+        interior = [layer for layer in report.layers[1:-1] if layer.kind == "conv"]
+        weight_only = [layer.dram_bytes for layer in interior]
         # Interior conv traffic is just weights (tiny).
         assert max(weight_only) < 50e3
 
@@ -93,7 +92,7 @@ class TestRooflineBehaviour:
 
     def test_utilization_in_unit_interval(self):
         report = estimate(fsrcnn_graph(2, 270, 480), ETHOS_N78_4TOPS)
-        assert all(0 < l.utilization <= 1 for l in report.layers)
+        assert all(0 < layer.utilization <= 1 for layer in report.layers)
 
 
 class TestTable3Shape:

@@ -46,12 +46,12 @@ class TestOverheadAndAccounting:
             LayerSpec("depth_to_space", (1, 1), 16, 4, 2.0),
         ]
         report = estimate(graph(specs), NPUSpec())
-        assert report.total_macs == sum(l.macs for l in report.layers)
+        assert report.total_macs == sum(layer.macs for layer in report.layers)
         assert report.dram_bytes == pytest.approx(
-            sum(l.dram_bytes for l in report.layers)
+            sum(layer.dram_bytes for layer in report.layers)
         )
         assert report.runtime_sec == pytest.approx(
-            sum(l.time_sec for l in report.layers)
+            sum(layer.time_sec for layer in report.layers)
         )
 
     def test_weight_traffic_counted(self):

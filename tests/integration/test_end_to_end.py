@@ -9,7 +9,7 @@ from repro.core import SESR, FSRCNN
 from repro.datasets import SyntheticDataset, benchmark_suites
 from repro.hw import ETHOS_N78_4TOPS, estimate, graph_from_specs
 from repro.metrics import specs_from_module
-from repro.nn import Tensor, load_state, no_grad, save_state
+from repro.nn import load_state, save_state
 from repro.train import (
     ExperimentConfig,
     evaluate_model,

@@ -1,6 +1,5 @@
 """Parameter/MAC accounting — the golden tests against Tables 1–2 columns."""
 
-import numpy as np
 import pytest
 
 from repro.core import FSRCNN, SESR

@@ -11,14 +11,12 @@ from repro.nn import (
     DepthToSpace,
     Identity,
     Module,
-    Parameter,
     PReLU,
     ReLU,
     Sequential,
     SpaceToDepth,
     Tensor,
     load_state,
-    no_grad,
     save_state,
 )
 

@@ -104,9 +104,6 @@ class TestBatchNorm:
         assert bn.beta.grad is not None
 
     def test_gradcheck_train_mode(self, rng):
-        from repro.nn import Parameter
-        from repro.nn.modules import Module
-
         x = rng.standard_normal((3, 4, 4, 2))
         g = rng.uniform(0.5, 1.5, size=2)
         b = rng.standard_normal(2)

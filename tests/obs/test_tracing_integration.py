@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.obs import Tracer, get_tracer, set_tracer, span_tree
+from repro.obs import Tracer, set_tracer, span_tree
 from repro.serve import InferenceEngine, ModelKey, ModelRegistry
 from repro.serve.engine import plan_tiles
 

@@ -1,0 +1,87 @@
+"""Serving parity: compiled plans must be invisible to HTTP clients.
+
+``POST /upscale`` bytes are pinned identical with and without the plan
+cache, in both precisions, and the degraded (bicubic) fallback is shown to
+bypass the compiled executor entirely.
+"""
+
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.compile import CompiledModel
+from repro.datasets import encode_netpbm
+from repro.resilience import CircuitBreaker
+from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+
+
+def _serve(engine):
+    srv = make_server(engine, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+def _post(srv, body):
+    host, port = srv.server_address[:2]
+    req = urllib.request.Request(
+        f"http://{host}:{port}/upscale", data=body, method="POST"
+    )
+    return urllib.request.urlopen(req, timeout=30)
+
+
+@pytest.fixture(scope="module", params=["fp32", "int8"])
+def server_pair(request):
+    registry = ModelRegistry()
+    key = ModelKey(name="M3", scale=2, precision=request.param)
+    engines = [
+        InferenceEngine(registry, key, workers=2, tile=16, cache_size=0,
+                        compiled=compiled)
+        for compiled in (True, False)
+    ]
+    pairs = [_serve(e) for e in engines]
+    yield [srv for srv, _ in pairs]
+    for (srv, thread), engine in zip(pairs, engines):
+        srv.close()
+        thread.join(timeout=5)
+        engine.shutdown()
+
+
+class TestCompiledHTTPParity:
+    def test_upscale_bytes_identical_compiled_vs_eager(self, server_pair):
+        compiled_srv, eager_srv = server_pair
+        rng = np.random.default_rng(0)
+        body = encode_netpbm(rng.random((24, 20)).astype(np.float32))
+        with _post(compiled_srv, body) as r1:
+            compiled_bytes = r1.read()
+            assert r1.headers["X-Degraded"] == "false"
+        with _post(eager_srv, body) as r2:
+            eager_bytes = r2.read()
+        assert compiled_bytes == eager_bytes
+
+
+class TestDegradedBypassesThePlan:
+    def test_degraded_fallback_never_executes_the_compiled_model(self):
+        registry = ModelRegistry()
+        engine = InferenceEngine(
+            registry, ModelKey(name="M3", scale=2),
+            workers=2, tile=16, cache_size=0,
+            breaker=CircuitBreaker(failure_threshold=1, cooldown=60.0),
+            degraded_mode=True,
+        )
+        srv, thread = _serve(engine)
+        try:
+            assert isinstance(engine.model, CompiledModel)
+            engine.breaker.record_failure()  # threshold 1: breaker opens
+            rng = np.random.default_rng(1)
+            body = encode_netpbm(rng.random((16, 16)).astype(np.float32))
+            with _post(srv, body) as resp:
+                assert resp.headers["X-Degraded"] == "true"
+                assert len(resp.read()) > 0  # bicubic fallback delivered
+            assert engine.model.runs == 0  # the plan never executed
+        finally:
+            srv.close()
+            thread.join(timeout=5)
+            engine.shutdown()

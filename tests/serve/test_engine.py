@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.deploy import receptive_radius, tiled_upscale
-from repro.nn import Tensor
 from repro.serve import (
     EngineClosed,
     EngineError,

@@ -15,8 +15,8 @@ class TestParser:
         sub = next(a for a in parser._actions
                    if isinstance(a, type(parser._actions[-1]))
                    and hasattr(a, "choices") and a.choices)
-        assert {"train", "eval", "upscale", "collapse", "estimate", "nas",
-                "serve", "profile"} <= set(sub.choices)
+        assert {"train", "eval", "upscale", "collapse", "compile",
+                "estimate", "nas", "serve", "profile"} <= set(sub.choices)
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -35,7 +35,7 @@ class TestFormatTable:
         assert set(lines[2]) <= {"-", " "}
         assert "-" in lines[4]  # None rendered as dash
         # Columns align: all rows same length.
-        widths = {len(l) for l in lines[1:]}
+        widths = {len(line) for line in lines[1:]}
         assert len(widths) <= 2  # header/sep/rows may differ by trailing pad
 
     def test_empty_rows(self):

@@ -55,7 +55,7 @@ class TestTrainer:
     def test_log_hook(self):
         steps_seen = []
         Trainer(tiny_model(), lr=1e-3).fit(
-            tiny_sampler(), epochs=1, log_fn=lambda s, l: steps_seen.append(s)
+            tiny_sampler(), epochs=1, log_fn=lambda step, loss: steps_seen.append(step)
         )
         assert steps_seen == list(range(1, len(steps_seen) + 1))
 
