@@ -22,9 +22,17 @@ Package layout
                     HTTP front-end (``python -m repro.cli serve``)
 ``repro.resilience`` fault tolerance: retry/backoff, circuit breaker,
                     numeric guard, deterministic fault injection
+``repro.api``       the stable facade: load / collapse / compile_model /
+                    upscale / EngineConfig / make_server (start here)
 
 Quickstart
 ----------
+>>> from repro import api
+>>> model = api.collapse(api.load("M5", scale=2))
+>>> sr = api.upscale(api.compile_model(model), lr_image)
+
+or, for training-side work:
+
 >>> from repro.core import SESR
 >>> from repro.train import ExperimentConfig, run_experiment
 >>> model = SESR.from_name("M5", scale=2)
@@ -48,11 +56,13 @@ from . import (
     utils,
     zoo,
 )
+from . import api  # after the subsystems: the facade imports from them
 from .core import SESR, CollapsibleLinearBlock, FSRCNN
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "datasets",
     "deploy",

@@ -25,7 +25,7 @@ Simulate NPU performance for 1080p -> 4K (Table 3)::
 Serve the collapsed network over HTTP (see docs/serving.md)::
 
     python -m repro.cli serve --model M5 --scale 2 --workers 4 --port 8000
-    curl --data-binary @photo.ppm http://127.0.0.1:8000/upscale -o photo_x2.ppm
+    curl --data-binary @photo.ppm http://127.0.0.1:8000/v1/upscale -o photo_x2.ppm
 
 Profile where the MACs and milliseconds go, expanded vs collapsed (Fig 3)::
 
@@ -387,8 +387,14 @@ def _install_shutdown_handlers() -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .resilience import CircuitBreaker, RetryPolicy
-    from .serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+    from .resilience import RetryPolicy
+    from .serve import (
+        EngineConfig,
+        InferenceEngine,
+        ModelKey,
+        ModelRegistry,
+        make_server,
+    )
     from .train import CheckpointCorrupt
 
     registry = ModelRegistry(seed=args.seed)
@@ -396,25 +402,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         name=args.model, scale=args.scale, ckpt=args.ckpt,
         precision=args.precision,
     )
+    config = EngineConfig(
+        workers=args.workers,
+        tile=args.tile,
+        microbatch=args.microbatch,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size,
+        max_pending=args.queue_size,
+        default_timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        degraded_mode=not args.no_degraded,
+        wedge_timeout=args.timeout * 4,
+        compiled=not args.no_compile,
+    )
     try:
-        engine = InferenceEngine(
-            registry, key,
-            workers=args.workers,
-            tile=args.tile,
-            microbatch=args.microbatch,
-            cache_size=args.cache_size,
-            max_pending=args.queue_size,
-            default_timeout=args.timeout,
-            retry=RetryPolicy(max_attempts=args.retries),
-            breaker=CircuitBreaker(
-                failure_threshold=args.breaker_threshold,
-                cooldown=args.breaker_cooldown,
-                name=f"{args.model}:x{args.scale}:{args.precision}",
-            ),
-            degraded_mode=not args.no_degraded,
-            wedge_timeout=args.timeout * 4,
-            compiled=not args.no_compile,
-        )
+        engine = InferenceEngine(registry, key, config=config)
     except (KeyError, FileNotFoundError, CheckpointCorrupt) as exc:
         print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -422,10 +427,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          max_body_bytes=args.max_body_bytes)
     host, port = server.server_address[:2]
     print(f"serving {args.model} x{args.scale} ({args.precision}) "
-          f"on http://{host}:{port} — {args.workers} workers, "
-          f"tile {args.tile}, cache {args.cache_size}, "
-          f"degraded mode {'off' if args.no_degraded else 'on'}")
-    print("endpoints: POST /upscale  GET /healthz  GET /stats  (Ctrl-C stops)")
+          f"on http://{host}:{port}")
+    print(config.describe())
+    print("endpoints: POST /v1/upscale  GET /v1/healthz  GET /v1/stats  "
+          "GET /v1/metrics  (Ctrl-C stops)")
     _install_shutdown_handlers()
     try:
         server.serve_forever()
@@ -517,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--microbatch", action="store_true",
                    help="batch same-shape tiles through one conv call "
                         "(faster; ~1-ulp divergence from exact mode)")
+    p.add_argument("--batch-window-ms", type=float, default=0.0,
+                   help="coalesce same-shape tiles from concurrent "
+                        "requests that arrive within this window into "
+                        "one bit-exact forward pass (0 disables)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="largest coalesced (or micro-) batch fed to one "
+                        "forward pass")
     p.add_argument("--max-body-bytes", type=int, default=64 * 1024 * 1024,
                    help="reject larger request bodies with HTTP 413 "
                         "before reading them (default 64 MiB)")

@@ -277,8 +277,22 @@ class CompiledModel(Module):
     def forward(self, x: Tensor) -> Tensor:
         return Tensor(self.run(x.data))
 
-    def run(self, x: np.ndarray) -> np.ndarray:
-        """Execute the plan on an NHWC array; returns a fresh array."""
+    def run(self, x: np.ndarray, exact_batch: bool = False) -> np.ndarray:
+        """Execute the plan on an NHWC array; returns a fresh array.
+
+        ``exact_batch=True`` makes a batched call (N > 1) *bit-identical*
+        per sample to N independent N=1 calls: padding, im2col patch
+        extraction, and every elementwise op already are (they never mix
+        samples), but BLAS picks its sgemm blocking from the row count
+        ``m = N·h·w``, so a single stacked matmul can reassociate the
+        k-summation differently than the ``m = h·w`` call would.  Exact
+        mode shares one pad + im2col pass across the batch and then runs
+        the matmul per sample on contiguous row slices of the shared cols
+        buffer — each sample sees the very ``(h·w, k) @ (k, c)`` call the
+        singleton path makes.  This is what lets the serving engine's
+        cross-request batch coalescing stay byte-identical to unbatched
+        serving (see ``repro.serve.scheduler``).
+        """
         x = np.asarray(x)
         if x.dtype != np.float32:
             x = x.astype(np.float32)
@@ -291,13 +305,14 @@ class CompiledModel(Module):
                 f"got {x.shape[3]}"
             )
         n, h, w = x.shape[:3]
+        exact = bool(exact_batch) and n > 1
         arena = self._arena(n, h, w)
         values: Dict[str, np.ndarray] = dict(arena["consts"])
         values[self.graph.inputs[0]] = x
         with span("compile.execute", model=self.source,
-                  shape=f"{n}x{h}x{w}"):
+                  shape=f"{n}x{h}x{w}", exact_batch=exact):
             for step in self._steps:
-                self._exec_step(step, values, arena)
+                self._exec_step(step, values, arena, exact)
         with self._lock:
             self._runs += 1
         return values[self.graph.outputs[0]]
@@ -307,18 +322,30 @@ class CompiledModel(Module):
             return np.empty(arena["shapes"][step["name"]], dtype=np.float32)
         return arena["views"][step["name"]]
 
-    def _exec_step(self, step, values, arena) -> None:
+    def _exec_step(self, step, values, arena, exact: bool = False) -> None:
         op = step["op"]
         if op == "conv":
-            self._exec_conv(step, values, arena)
+            self._exec_conv(step, values, arena, exact)
             return
         src = values[step["srcs"][0]]
         if op == "deconv":
             with no_grad():
-                out = conv2d_transpose(
-                    Tensor(src), step["w_t"], step["b_t"],
-                    stride=step["stride"],
-                ).data
+                if exact:
+                    # Per-sample transpose conv: its internal matmul row
+                    # count must match the singleton call's for bitwise
+                    # batch/single parity (see run()).
+                    out = np.concatenate([
+                        conv2d_transpose(
+                            Tensor(src[i:i + 1]), step["w_t"], step["b_t"],
+                            stride=step["stride"],
+                        ).data
+                        for i in range(src.shape[0])
+                    ])
+                else:
+                    out = conv2d_transpose(
+                        Tensor(src), step["w_t"], step["b_t"],
+                        stride=step["stride"],
+                    ).data
             if step["is_output"]:
                 values[step["name"]] = out
             else:
@@ -355,7 +382,24 @@ class CompiledModel(Module):
             raise ValueError(f"cannot execute op {op!r}")
         values[step["name"]] = dst
 
-    def _exec_conv(self, step, values, arena) -> None:
+    @staticmethod
+    def _matmul_rows(cols, wmat, out2d, n: int, rows: int,
+                     exact: bool) -> None:
+        """``out2d = cols @ wmat``, per-sample when ``exact``.
+
+        ``cols`` rows are sample-major (``rows = h*w`` per sample), so the
+        exact path issues one ``(rows, k)`` sgemm per contiguous slice —
+        the same call shape the N=1 run makes, hence the same BLAS kernel
+        and k-summation order.
+        """
+        if exact and n > 1:
+            for i in range(n):
+                np.matmul(cols[i * rows:(i + 1) * rows], wmat,
+                          out=out2d[i * rows:(i + 1) * rows])
+        else:
+            np.matmul(cols, wmat, out=out2d)
+
+    def _exec_conv(self, step, values, arena, exact: bool = False) -> None:
         src = values[step["srcs"][0]]
         n, h, w, cin = src.shape
         kh, kw = step["kernel"]
@@ -395,12 +439,12 @@ class CompiledModel(Module):
                 prof.record("im2col", time.perf_counter() - t0)
             if groups == 1:
                 out2d = dst.reshape(m, cout)
-                np.matmul(cols, wmats[0], out=out2d)
+                self._matmul_rows(cols, wmats[0], out2d, n, h * w, exact)
                 if bias is not None:
                     np.add(out2d, bias, out=out2d)
             else:
                 t2d = arena["tmp"][:m * gc_out].reshape(m, gc_out)
-                np.matmul(cols, wmats[g], out=t2d)
+                self._matmul_rows(cols, wmats[g], t2d, n, h * w, exact)
                 if bias is not None:
                     np.add(t2d, bias[g * gc_out:(g + 1) * gc_out], out=t2d)
                 dst[..., g * gc_out:(g + 1) * gc_out] = t2d.reshape(

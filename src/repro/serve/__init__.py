@@ -2,14 +2,18 @@
 
 The deployment pipeline the paper's efficiency story points at: collapsed
 SESR networks loaded once (:mod:`~repro.serve.registry`), requests tiled
-and fanned across a worker pool with optional same-shape micro-batching
-(:mod:`~repro.serve.engine`), repeated inputs answered from an LRU output
-cache (:mod:`~repro.serve.cache`), everything measured
-(:mod:`~repro.serve.telemetry`) and exposed over a stdlib HTTP server
-(:mod:`~repro.serve.http`).  Front-end: ``python -m repro.cli serve``.
+and fanned across a worker pool (:mod:`~repro.serve.engine`) whose
+configuration is one frozen :class:`EngineConfig` value, same-shape tile
+jobs from concurrent requests coalesced bit-exactly by a dynamic
+:class:`BatchScheduler` (:mod:`~repro.serve.scheduler`), repeated inputs
+answered from an LRU output cache (:mod:`~repro.serve.cache`), everything
+measured (:mod:`~repro.serve.telemetry`) and exposed over a stdlib HTTP
+server with a versioned ``/v1`` API (:mod:`~repro.serve.http`).
+Front-end: ``python -m repro.cli serve``.
 """
 
 from .cache import LRUCache, array_digest
+from .config import EngineConfig
 from .engine import (
     BreakerOpen,
     EngineClosed,
@@ -20,7 +24,9 @@ from .engine import (
     UpscaleResult,
     plan_tiles,
     predict_batch,
+    predict_batch_exact,
 )
+from .scheduler import BatchScheduler, TileJob
 from .http import (
     SRRequestHandler,
     SRServer,
@@ -34,6 +40,9 @@ from .telemetry import Counter, Gauge, Histogram, StateGauge, Telemetry
 __all__ = [
     "LRUCache",
     "array_digest",
+    "EngineConfig",
+    "BatchScheduler",
+    "TileJob",
     "BreakerOpen",
     "EngineClosed",
     "EngineError",
@@ -43,6 +52,7 @@ __all__ = [
     "UpscaleResult",
     "plan_tiles",
     "predict_batch",
+    "predict_batch_exact",
     "SRRequestHandler",
     "SRServer",
     "make_server",

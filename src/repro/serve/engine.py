@@ -10,17 +10,29 @@ inside the im2col matmuls, which is where collapsed-SESR inference spends
 its time, so plain threads give real parallelism without pickling images
 across processes.
 
-Two execution modes per tile group:
+Configuration is one frozen :class:`~repro.serve.EngineConfig` value —
+``InferenceEngine(registry, key, config=EngineConfig(...))`` is the
+primary signature; the historical kwarg soup still works through a
+deprecation shim that warns once per process.
+
+Execution modes per tile job:
 
 * **exact** (default): each tile runs through
   :func:`repro.train.predict_image`, the same call the CLI uses — output is
   bit-identical to ``tiled_upscale`` at the same tile/halo, and to
   full-frame inference whenever one tile covers the frame.
-* **micro-batched** (``microbatch=True``): same-shape tiles are stacked on
-  the batch axis and run through a *single* im2col convolution call per
-  layer.  Fewer Python round-trips and larger matmuls buy throughput at the
-  cost of bit-exactness (BLAS may reassociate across batch layouts; results
-  agree to ~1 ulp).
+* **cross-request batched** (``batch_window_ms > 0``): the
+  :class:`~repro.serve.BatchScheduler` coalesces same-shape tile jobs from
+  *different* in-flight requests, bounded by ``max_batch`` and the window,
+  with round-robin fair share so a huge request cannot starve small ones.
+  Coalesced batches share one pad + im2col pass and run the conv matmul
+  per sample (``CompiledModel.run(exact_batch=True)``), so the output
+  stays **byte-identical** to unbatched serving — the collapsed nets are
+  dispatch-bound, which is where coalescing pays (see ``docs/serving.md``).
+* **micro-batched** (``microbatch=True``, legacy): same-shape tiles *of
+  one request* are stacked through a single stacked matmul.  Fewer Python
+  round-trips at the cost of bit-exactness (BLAS may reassociate across
+  batch layouts; results agree to ~1 ulp).
 
 Requests are admitted through a bounded slot pool (load-shedding beats
 unbounded queueing), carry a deadline (:class:`RequestTimeout`), and
@@ -31,6 +43,9 @@ Fault tolerance (see ``docs/robustness.md`` and ``tests/resilience/``):
 * Tile jobs retry transient failures under a
   :class:`~repro.resilience.RetryPolicy` (exponential backoff, seeded
   jitter) before the request is failed.
+* A **poisoned batch** never takes its batchmates down: if a coalesced
+  batch fails, its jobs re-run singly — each with the full retry budget —
+  so only the actually-faulty request fails.
 * A per-model-key :class:`~repro.resilience.CircuitBreaker` trips after
   consecutive request failures; while open, requests skip the model
   entirely.
@@ -40,22 +55,22 @@ Fault tolerance (see ``docs/robustness.md`` and ``tests/resilience/``):
   identical bytes to :func:`repro.datasets.degradation.bicubic_upscale`.
 * A supervisor thread heartbeat-checks the worker pool: dead workers
   (e.g. an injected :class:`~repro.resilience.WorkerDeath`) re-queue
-  their in-flight job and are respawned; workers busy past
+  their in-flight jobs and are respawned; workers busy past
   ``wedge_timeout`` are retired and replaced so one stuck BLAS call
   cannot eat a pool slot forever.
 * A seedable :class:`~repro.resilience.FaultInjector` hook fires before
-  every tile-job attempt, which is how the chaos suite drives all of the
-  above deterministically.
+  every tile-job attempt (and once per coalesced-batch attempt), which is
+  how the chaos suite drives all of the above deterministically.
 """
 
 from __future__ import annotations
 
-import queue
 import random
 import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,10 +78,12 @@ from ..datasets.degradation import bicubic_upscale
 from ..deploy.tiled import receptive_radius
 from ..nn import Module, Tensor, no_grad
 from ..obs import trace as _trace
-from ..resilience import CircuitBreaker, FaultInjector, RetryPolicy, WorkerDeath
+from ..resilience import CircuitBreaker, FaultInjector, WorkerDeath
 from ..train import predict_image
 from .cache import LRUCache, array_digest
+from .config import EngineConfig
 from .registry import ModelKey, ModelRegistry
+from .scheduler import BatchScheduler, TileJob
 from .telemetry import Telemetry
 
 
@@ -151,11 +168,31 @@ def predict_batch(model: Module, patches: np.ndarray) -> np.ndarray:
     The batch axis rides through the same im2col ``conv2d`` the single-image
     path uses — one matmul covers all N tiles, which is the micro-batching
     win.  Returns ``(N, sH, sW)`` clipped to [0, 1] like ``predict_image``.
+    Approximate across the batch axis (~1 ulp); for the bit-exact batched
+    path see :func:`predict_batch_exact`.
     """
     model.eval()
     with no_grad():
         out = model(Tensor(patches)).data
     return np.clip(out[..., 0], 0.0, 1.0)
+
+
+def predict_batch_exact(model: Module, patches: np.ndarray) -> np.ndarray:
+    """Like :func:`predict_batch`, but bit-identical per sample to
+    :func:`~repro.train.predict_image` on each tile alone.
+
+    Compiled models share one pad/im2col pass across the batch and run
+    the conv GEMM per sample (``run(exact_batch=True)``); anything else
+    (eager fallback, duck-typed test doubles) is computed tile by tile —
+    no conv coalescing, but the parity contract always holds.
+    """
+    from ..compile.executor import CompiledModel
+
+    if isinstance(model, CompiledModel):
+        return np.clip(
+            model.run(patches, exact_batch=True)[..., 0], 0.0, 1.0
+        )
+    return np.stack([predict_image(model, p[..., 0]) for p in patches])
 
 
 class _Request:
@@ -186,8 +223,35 @@ class _Request:
             self.cancelled = True
 
 
+#: legacy constructor kwargs the deprecation shim maps onto EngineConfig.
+_LEGACY_CONFIG_KWARGS = (
+    "workers", "tile", "halo", "microbatch", "max_batch", "cache_size",
+    "max_pending", "default_timeout", "retry", "degraded_mode", "supervise",
+    "supervise_interval", "wedge_timeout", "compiled", "batch_window_ms",
+)
+
+_legacy_kwargs_warned = False
+
+
+def _warn_legacy_kwargs(names: Sequence[str]) -> None:
+    """DeprecationWarning for kwarg-style construction — once per process."""
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        "InferenceEngine(..., {}) keyword configuration is deprecated; "
+        "build an EngineConfig and pass "
+        "InferenceEngine(registry, key, config=...) instead".format(
+            ", ".join(f"{n}=..." for n in names)
+        ),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class InferenceEngine:
-    """Queue → worker pool → stitched response, with cache and telemetry.
+    """Scheduler → worker pool → stitched response, with cache + telemetry.
 
     Parameters
     ----------
@@ -195,80 +259,48 @@ class InferenceEngine:
         Where the deployable network comes from; the model is resolved
         eagerly so a bad name/checkpoint fails at construction, not on the
         first request.
-    workers:
-        Worker threads sharing the tile queue (≥ 1).
-    tile:
-        Core tile size in LR pixels (int or ``(th, tw)``).
-    halo:
-        Context pixels per tile; defaults to the model's receptive radius,
-        which makes tiling exact.
-    microbatch, max_batch:
-        Enable same-shape tile micro-batching, and the largest stack fed to
-        one forward pass.
-    cache_size:
-        LRU entries for finished outputs (0 disables).
-    max_pending:
-        Bounded request-slot pool; admission beyond it raises
-        :class:`EngineOverloaded`.
-    default_timeout:
-        Per-request deadline in seconds when the caller passes none.
-    retry:
-        :class:`~repro.resilience.RetryPolicy` for transient tile faults
-        (default: 3 attempts, 50 ms base backoff).
-    breaker:
-        :class:`~repro.resilience.CircuitBreaker` guarding this model key
-        (default: 5 consecutive failures, 30 s cooldown).
-    degraded_mode:
-        When ``True``, failed requests return the bicubic fallback tagged
-        ``degraded=True`` instead of raising; when ``False`` (default,
-        matching the pre-resilience API) failures raise
-        :class:`EngineError`/:class:`BreakerOpen`.
-    fault_injector:
-        Optional :class:`~repro.resilience.FaultInjector` fired before
-        every tile-job attempt (chaos testing).
-    supervise, supervise_interval, wedge_timeout:
-        Worker-pool supervision: every ``supervise_interval`` seconds dead
-        workers are respawned, and (when ``wedge_timeout`` is set) workers
-        stuck on one job longer than that are retired and replaced.
-    compiled:
-        When ``True`` (default) run the model through
-        :func:`repro.compile.compile_model` via the registry's plan cache
-        (bit-identical output, fused ops, planned buffers); models the
-        compiler cannot capture fall back to eager transparently
-        (``compile_fallback`` in ``/stats``).  ``False`` — the
-        ``--no-compile`` escape hatch — always runs the eager network.
+    config:
+        An :class:`~repro.serve.EngineConfig` holding every serving knob
+        (workers, tiling, batching, cache, admission, resilience,
+        compilation).  ``None`` = defaults.
+    telemetry, breaker, fault_injector:
+        Stateful collaborators, injectable for sharing and testing: a
+        metrics registry, a pre-built circuit breaker (default: one built
+        from ``config.breaker_threshold``/``config.breaker_cooldown``),
+        and the chaos-testing fault hook.
+    **legacy_kwargs:
+        The pre-``EngineConfig`` keyword surface (``workers=``, ``tile=``,
+        ``retry=``, ...).  Still accepted — mapped onto a config by a shim
+        that emits one :class:`DeprecationWarning` per process.  Mutually
+        exclusive with ``config``.
     """
 
     def __init__(
         self,
         registry: ModelRegistry,
         key: ModelKey,
-        workers: int = 4,
-        tile: Union[int, Tuple[int, int]] = 96,
-        halo: Optional[int] = None,
-        microbatch: bool = False,
-        max_batch: int = 8,
-        cache_size: int = 128,
-        max_pending: int = 32,
-        default_timeout: float = 30.0,
+        config: Optional[EngineConfig] = None,
+        *,
         telemetry: Optional[Telemetry] = None,
-        retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
-        degraded_mode: bool = False,
         fault_injector: Optional[FaultInjector] = None,
-        supervise: bool = True,
-        supervise_interval: float = 0.2,
-        wedge_timeout: Optional[float] = None,
-        compiled: bool = True,
+        **legacy_kwargs,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_pending < 1:
-            raise ValueError("max_pending must be >= 1")
-        if supervise_interval <= 0:
-            raise ValueError("supervise_interval must be positive")
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - set(_LEGACY_CONFIG_KWARGS)
+            if unknown:
+                raise TypeError(
+                    f"unknown InferenceEngine arguments: {sorted(unknown)}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass an EngineConfig or legacy keyword arguments, "
+                    "not both"
+                )
+            _warn_legacy_kwargs(sorted(legacy_kwargs))
+            config = EngineConfig(**legacy_kwargs)
+        self.config = config = config or EngineConfig()
+
         self.registry = registry
         self.key = key
         # Run the compiled plan by default (bit-identical to eager, see
@@ -276,7 +308,7 @@ class InferenceEngine:
         # the eager network transparently.
         self.compiled = False
         self.compile_fallback = False
-        if compiled:
+        if config.compiled:
             from ..compile import CaptureError
 
             try:
@@ -288,42 +320,51 @@ class InferenceEngine:
         else:
             self.model = registry.get(key)
         self.scale = key.scale
-        self.tile = (tile, tile) if isinstance(tile, int) else tuple(tile)
-        self.halo = receptive_radius(self.model) if halo is None else halo
-        self.microbatch = microbatch
-        self.max_batch = max_batch
-        self.default_timeout = default_timeout
-        self.cache = LRUCache(cache_size)
+        self.tile = config.tile
+        self.halo = (receptive_radius(self.model) if config.halo is None
+                     else config.halo)
+        self.microbatch = config.microbatch
+        self.max_batch = config.max_batch
+        self.batch_window = config.batch_window_ms / 1e3
+        self.default_timeout = config.default_timeout
+        self.cache = LRUCache(config.cache_size)
         self.telemetry = telemetry or Telemetry()
-        self.retry = retry or RetryPolicy()
-        self.degraded_mode = degraded_mode
+        self.retry = config.retry
+        self.degraded_mode = config.degraded_mode
         self.fault_injector = fault_injector
         breaker_name = f"{key.name}:x{key.scale}:{key.precision}"
-        self.breaker = breaker or CircuitBreaker(name=breaker_name)
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            name=breaker_name,
+        )
         if self.breaker._on_transition is None:
             self.breaker._on_transition = self._on_breaker_transition
         self._breaker_state = self.telemetry.state(
             "engine.breaker_state", self.breaker.state
         )
 
-        self._tasks: "queue.Queue" = queue.Queue()
-        self._slots = threading.Semaphore(max_pending)
+        self._scheduler = BatchScheduler(
+            max_batch=config.max_batch, window=self.batch_window
+        )
+        self._slots = threading.Semaphore(config.max_pending)
         self._closed = False
         self._state_lock = threading.Lock()
         self._queue_depth = self.telemetry.gauge("engine.queue_depth")
         self._inflight = self.telemetry.gauge("engine.inflight_requests")
         self._latency = self.telemetry.histogram("engine.request_latency_ms")
+        self._batch_size = self.telemetry.histogram("engine.batch_size")
         self._retry_rng = random.Random(self.retry.seed)
         self._rng_lock = threading.Lock()
         self._workers_lock = threading.Lock()
         self._worker_seq = 0
         self._busy_since: Dict[str, float] = {}
         self._retired: set = set()
-        self.supervise_interval = supervise_interval
-        self.wedge_timeout = wedge_timeout
-        self._workers = [self._spawn_worker() for _ in range(workers)]
+        self.supervise_interval = config.supervise_interval
+        self.wedge_timeout = config.wedge_timeout
+        self._workers = [self._spawn_worker() for _ in range(config.workers)]
         self._supervisor: Optional[threading.Thread] = None
-        if supervise:
+        if config.supervise:
             self._supervisor = threading.Thread(
                 target=self._supervisor_loop, name="sr-supervisor", daemon=True
             )
@@ -447,8 +488,16 @@ class InferenceEngine:
         root.attrs["tiles"] = len(specs)
         root.attrs["jobs"] = len(jobs)
         request.pending = len(jobs)
-        for job in jobs:
-            self._tasks.put((request, job))
+        for spec_group in jobs:
+            # Only singleton jobs coalesce across requests; legacy
+            # micro-batch groups are already stacked and ride the express
+            # lane.
+            job = TileJob(
+                request, spec_group,
+                group=(self.key, spec_group[0].halo_shape),
+                batchable=len(spec_group) == 1,
+            )
+            self._scheduler.put(job)
             self._queue_depth.inc()
         return request
 
@@ -483,37 +532,129 @@ class InferenceEngine:
     def _worker_loop(self) -> None:
         name = threading.current_thread().name
         while True:
-            item = self._tasks.get()
-            if item is None:
-                self._tasks.task_done()
-                return
-            self._queue_depth.dec()
-            request, specs = item
+            batch = self._scheduler.get()
+            if batch is None:
+                return  # scheduler closed and drained
+            self._queue_depth.dec(len(batch))
             self._busy_since[name] = time.monotonic()
+            remaining = list(batch)
             try:
-                if not request.cancelled:
-                    self._run_job(request, specs)
+                self._dispatch(batch, remaining)
             except WorkerDeath:
-                # Simulated kill -9: hand the job back to a live worker
-                # and let this thread die; the supervisor respawns it.
+                # Simulated kill -9: hand unfinished jobs back to a live
+                # worker and let this thread die; the supervisor respawns
+                # it.  Finished batchmates are NOT requeued — their tiles
+                # are stitched and accounted.
                 self._busy_since.pop(name, None)
                 self.telemetry.counter("engine.worker_deaths").inc()
                 if self._closed:
-                    request.fail(EngineClosed("engine shut down"))
-                    request.finish_jobs(len(specs))
+                    for job in remaining:
+                        job.request.fail(EngineClosed("engine shut down"))
+                        job.request.finish_jobs(1)
                 else:
-                    self._tasks.put((request, specs))
-                    self._queue_depth.inc()
-                self._tasks.task_done()
+                    self._scheduler.requeue(remaining)
+                    self._queue_depth.inc(len(remaining))
                 return
-            except BaseException as exc:  # noqa: BLE001 — reported to caller
-                request.fail(exc)
             finally:
                 self._busy_since.pop(name, None)
-            request.finish_jobs(len(specs))
-            self._tasks.task_done()
             if name in self._retired:
                 return
+
+    def _dispatch(self, batch: List[TileJob],
+                  remaining: List[TileJob]) -> None:
+        """Run one dispatched batch; ``remaining`` tracks unfinished jobs.
+
+        Every job leaves through exactly one of: computed + stitched,
+        failed (request tagged), or still in ``remaining`` when a
+        :class:`WorkerDeath` propagates (the caller requeues those).
+        """
+        self._batch_size.observe(len(batch))
+        self.telemetry.counter("engine.batches").inc()
+        if len(batch) > 1:
+            self.telemetry.counter("engine.coalesced_batches").inc()
+            self.telemetry.counter("engine.coalesced_tiles").inc(len(batch))
+            try:
+                if self._run_batch(batch):
+                    for job in batch:
+                        self._finish(job, remaining)
+                    return
+            except WorkerDeath:
+                raise
+            # Poisoned batch: isolate the fault — every job re-runs singly
+            # below with its own full retry budget, so only the genuinely
+            # faulty request(s) fail.
+            self.telemetry.counter("engine.batch_fallbacks").inc()
+        for job in batch:
+            try:
+                if not job.request.cancelled:
+                    self._run_job(job.request, job.specs)
+            except WorkerDeath:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                job.request.fail(exc)
+            self._finish(job, remaining)
+
+    @staticmethod
+    def _finish(job: TileJob, remaining: List[TileJob]) -> None:
+        job.request.finish_jobs(1)
+        try:
+            remaining.remove(job)
+        except ValueError:  # pragma: no cover — defensive
+            pass
+
+    def _run_batch(self, batch: List[TileJob]) -> bool:
+        """One attempt at a coalesced cross-request batch.
+
+        Returns ``True`` when every live job was computed and stitched;
+        ``False`` signals the caller to fall back to singles.  Raises
+        only :class:`WorkerDeath`.
+        """
+        live = [j for j in batch if not j.request.cancelled]
+        if not live:
+            return True  # nothing to compute; jobs just need finishing
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_tile()
+            self._compute_coalesced(live)
+            return True
+        except WorkerDeath:
+            raise
+        except Exception:
+            return False
+
+    def _compute_coalesced(self, jobs: List[TileJob]) -> None:
+        """Stack same-shape tiles of several requests into one exact pass."""
+        s = self.scale
+        specs = [j.specs[0] for j in jobs]
+        shape = specs[0].halo_shape
+        requests = len({id(j.request) for j in jobs})
+        with _trace.span(
+            "serve.batch", tiles=len(jobs), requests=requests,
+            h=shape[0], w=shape[1],
+        ) as bspan:
+            patches = np.stack([
+                j.request.lr[t.hy0:t.hy1, t.hx0:t.hx1]
+                for j, t in zip(jobs, specs)
+            ])[..., None]
+            outs = predict_batch_exact(self.model, patches)
+            for j, t, sr in zip(jobs, specs, outs):
+                cy0, cx0 = (t.y0 - t.hy0) * s, (t.x0 - t.hx0) * s
+                cy1 = cy0 + (t.y1 - t.y0) * s
+                cx1 = cx0 + (t.x1 - t.x0) * s
+                j.request.out[t.y0 * s:t.y1 * s, t.x0 * s:t.x1 * s] = (
+                    sr[cy0:cy1, cx0:cx1]
+                )
+        self.telemetry.counter("engine.tiles").inc(len(jobs))
+        # Keep each request's trace tree complete: a zero-cost tile span
+        # per job, linked to the batch it actually ran in.
+        for j, t in zip(jobs, specs):
+            with _trace.attach(j.request.ctx):
+                with _trace.span(
+                    "serve.tile", y0=t.y0, x0=t.x0,
+                    h=t.y1 - t.y0, w=t.x1 - t.x0,
+                    batched=True, batch_trace=bspan.trace_id,
+                ):
+                    pass
 
     def _run_job(self, request: _Request, specs: List[TileSpec]) -> None:
         """One tile job, with per-attempt fault injection and retries."""
@@ -602,9 +743,9 @@ class InferenceEngine:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting requests and stop workers.
 
-        ``wait=True`` lets queued jobs finish first (sentinels sit behind
-        them in the FIFO queue); ``wait=False`` cancels whatever has not
-        started yet.
+        ``wait=True`` lets queued jobs finish first (the scheduler drains
+        before handing workers their exit signal); ``wait=False`` cancels
+        whatever has not started yet.
         """
         with self._state_lock:
             if self._closed:
@@ -613,23 +754,13 @@ class InferenceEngine:
         if self._supervisor is not None:
             self._supervisor.join(timeout=self.supervise_interval + 5.0)
         if not wait:
-            try:
-                while True:
-                    item = self._tasks.get_nowait()
-                    if item is None:
-                        self._tasks.task_done()
-                        continue
-                    request, specs = item
-                    self._queue_depth.dec()
-                    request.fail(EngineClosed("engine shut down"))
-                    request.finish_jobs(len(specs))
-                    self._tasks.task_done()
-            except queue.Empty:
-                pass
+            for job in self._scheduler.drain():
+                self._queue_depth.dec()
+                job.request.fail(EngineClosed("engine shut down"))
+                job.request.finish_jobs(1)
+        self._scheduler.close()
         with self._workers_lock:
             workers = list(self._workers)
-        for _ in workers:
-            self._tasks.put(None)
         for t in workers:
             t.join(timeout=30.0)
 
@@ -643,27 +774,43 @@ class InferenceEngine:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    def _batching_stats(self) -> Dict[str, object]:
+        counters = self.telemetry
+        batches = counters.counter("engine.batches").value
+        tiles = counters.counter("engine.tiles").value
+        coalesced = counters.counter("engine.coalesced_tiles").value
+        return {
+            "window_ms": self.config.batch_window_ms,
+            "max_batch": self.max_batch,
+            "batches": batches,
+            "coalesced_batches":
+                counters.counter("engine.coalesced_batches").value,
+            "coalesced_tiles": coalesced,
+            "batch_fallbacks":
+                counters.counter("engine.batch_fallbacks").value,
+            "mean_batch_size": self._batch_size.mean,
+            "coalesce_ratio": (coalesced / tiles) if tiles else 0.0,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Everything ``/stats`` reports: telemetry + cache + registry."""
         snap = self.telemetry.snapshot()
         snap["cache"] = self.cache.stats()
         snap["registry"] = self.registry.stats()
         snap["breaker"] = self.breaker.snapshot()
+        snap["batching"] = self._batching_stats()
         if self.fault_injector is not None:
             snap["fault_injector"] = self.fault_injector.stats()
-        snap["config"] = {
+        config = self.config.to_dict()
+        config.update({
             "model": self.key.name,
             "scale": self.key.scale,
             "precision": self.key.precision,
             "workers": len(self._workers),
-            "tile": list(self.tile),
             "halo": self.halo,
-            "microbatch": self.microbatch,
             "compiled": self.compiled,
             "compile_fallback": self.compile_fallback,
-            "retry_attempts": self.retry.max_attempts,
-            "degraded_mode": self.degraded_mode,
             "supervised": self._supervisor is not None,
-            "wedge_timeout_s": self.wedge_timeout,
-        }
+        })
+        snap["config"] = config
         return snap

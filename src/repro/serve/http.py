@@ -1,37 +1,64 @@
 """Stdlib-only HTTP front-end over the inference engine.
 
-Endpoints
----------
-``POST /upscale``
+Endpoints (v1 — the documented API)
+-----------------------------------
+``POST /v1/upscale``
     Body: a binary/ASCII PGM or PPM image.  Response: the upscaled image in
     binary PGM (grey input) or PPM (colour input).  Colour inputs follow
     the paper's protocol exactly as ``repro.cli upscale`` does — the engine
     super-resolves the Y channel, chroma is bicubic-upscaled — so the
     response bytes are bit-identical to the CLI's output file.
-``GET /healthz``
+``GET /v1/healthz``
     Liveness + model identity (JSON).
-``GET /stats``
+``GET /v1/stats``
     Full :meth:`repro.serve.InferenceEngine.stats` snapshot (JSON):
-    request counters, latency percentiles, queue depth, cache accounting.
-``GET /metrics``
+    request counters, latency percentiles, queue depth, cache and
+    cross-request batching accounting.
+``GET /v1/metrics``
     The same registry in Prometheus text format (version 0.0.4), plus
     live tracing-span aggregates — what a metrics scraper points at
-    (see ``docs/observability.md``).  ``/stats`` is unchanged.
+    (see ``docs/observability.md``).
 
-Every ``POST /upscale`` response carries an ``X-Trace-Id`` header naming
-the request's span tree (request → tile fan-out → stitch) in the process
-tracer; a client-supplied well-formed ``X-Trace-Id`` (16 hex chars) is
-adopted instead of generating one, so the id round-trips.
+The original unversioned paths (``/upscale``, ``/healthz``, ``/stats``,
+``/metrics``) keep working and behave identically, but every response on
+them carries ``Deprecation: true`` plus a ``Link: </v1/...>;
+rel="successor-version"`` header pointing at the route that replaces
+them.  New clients should speak ``/v1``; the prefix is what lets the
+wire format evolve again without breaking them.
+
+Errors
+------
+Every non-2xx response is JSON with one stable shape::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>",
+               "trace_id": "<16 hex>"}}
+
+``code`` is one of ``bad_request``, ``not_found``, ``payload_too_large``,
+``unsupported_media_type``, ``unavailable``, ``deadline_exceeded``,
+``internal``.  ``trace_id`` identifies the failure in the process tracer
+(a well-formed client ``X-Trace-Id`` is adopted, otherwise one is
+generated) and is also echoed as the ``X-Trace-Id`` response header.
+
+Request validation is header-first: the ``Content-Type`` of ``POST
+/v1/upscale`` is checked *before* the body is read (netpbm payloads —
+``image/*``, ``application/octet-stream``, or clients that send no/default
+types), as is the ``Content-Length`` bound — an unsupported or oversized
+upload is rejected with 415/413 without its body ever entering memory.
+
+Every ``POST /v1/upscale`` response carries an ``X-Trace-Id`` header
+naming the request's span tree (request → tile fan-out → stitch) in the
+process tracer; a client-supplied well-formed ``X-Trace-Id`` (16 hex
+chars) is adopted instead of generating one, so the id round-trips.
 
 Built on :class:`http.server.ThreadingHTTPServer`: one thread per
 connection does the (cheap) parse/encode work and blocks on the engine,
 whose bounded slot pool is the real admission control.  Failure mapping:
-bad image → 400, oversized body → 413 (rejected *before* the body is
-read, so an unbounded upload cannot balloon memory), engine overloaded →
-503, deadline missed → 504, worker error → 500.  When the engine's
-degraded mode answers with the bicubic fallback the response carries
-``X-Degraded: true`` (it is ``false`` on healthy responses) so callers
-and load balancers can tell fallback pixels from model pixels.
+bad image → 400, oversized body → 413, wrong media type → 415, engine
+overloaded/closed → 503, deadline missed → 504, worker error → 500.
+When the engine's degraded mode answers with the bicubic fallback the
+response carries ``X-Degraded: true`` (it is ``false`` on healthy
+responses) so callers and load balancers can tell fallback pixels from
+model pixels.
 """
 
 from __future__ import annotations
@@ -39,7 +66,7 @@ from __future__ import annotations
 import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +79,7 @@ from ..datasets import (
 from ..datasets.degradation import bicubic_upscale
 from ..obs import get_tracer, render_prometheus
 from ..obs import profiler as _profiler
+from ..obs.trace import new_trace_id
 from .engine import (
     EngineClosed,
     EngineOverloaded,
@@ -64,7 +92,22 @@ MAX_BODY_BYTES = 64 * 1024 * 1024  # 8K RGB16 fits with headroom
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+API_VERSION = "v1"
+
+#: media types accepted for POST /v1/upscale.  Netpbm has no single
+#: registered type and simple clients (curl --data-binary, urllib) send
+#: form/plain/none defaults, so the gate is an allow-list, not one type.
+_ACCEPTED_MEDIA_PREFIXES = ("image/",)
+_ACCEPTED_MEDIA_TYPES = frozenset({
+    "",  # no Content-Type header at all
+    "application/octet-stream",
+    "application/x-www-form-urlencoded",  # urllib/curl POST default
+    "text/plain",
+})
+
 _TRACE_ID_RE = re.compile(r"[0-9a-f]{16}$")
+
+_ROUTES = ("/upscale", "/healthz", "/stats", "/metrics")
 
 
 def upscale_array_ex(engine: InferenceEngine, img: np.ndarray,
@@ -109,32 +152,78 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         return self.server.engine  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _route(self) -> Tuple[Optional[str], Dict[str, str]]:
+        """Resolve ``self.path`` to a canonical route.
+
+        Returns ``(route, extra response headers)`` — the headers carry
+        the deprecation signal when the client used an unversioned path —
+        or ``(None, {})`` when the path is unknown.
+        """
+        path = self.path.split("?", 1)[0]
+        prefix = f"/{API_VERSION}"
+        if path.startswith(prefix + "/"):
+            route = path[len(prefix):]
+            return (route, {}) if route in _ROUTES else (None, {})
+        if path in _ROUTES:
+            return path, {
+                "Deprecation": "true",
+                "Link": f'<{prefix}{path}>; rel="successor-version"',
+            }
+        return None, {}
+
+    # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        if self.path == "/healthz":
+        route, extra = self._route()
+        if route == "/healthz":
             key = self.engine.key
             self._send_json(200, {
                 "status": "ok" if not self.engine.closed else "shutting-down",
                 "model": key.name,
                 "scale": key.scale,
                 "precision": key.precision,
-            })
-        elif self.path == "/stats":
-            self._send_json(200, self.engine.stats())
-        elif self.path == "/metrics":
+                "api_version": API_VERSION,
+            }, extra_headers=extra)
+        elif route == "/stats":
+            self._send_json(200, self.engine.stats(), extra_headers=extra)
+        elif route == "/metrics":
             text = render_prometheus(
                 self.engine.stats(),
                 tracer=get_tracer(),
                 profiler=_profiler.ACTIVE,
             )
             self._send_bytes(
-                200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+                200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
+                extra_headers=extra,
             )
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error(
+                404, "not_found", f"unknown path {self.path!r}"
+            )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if self.path != "/upscale":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        route, extra = self._route()
+        if route != "/upscale":
+            self._send_error(
+                404, "not_found", f"unknown path {self.path!r}"
+            )
+            return
+        # Header-first validation: media type and size are judged before
+        # a single body byte is read, so a bad upload costs no memory.
+        # Responses that leave the body unread close the connection — the
+        # unread bytes would corrupt a keep-alive stream.
+        ctype = self.headers.get("Content-Type", "")
+        ctype = ctype.split(";", 1)[0].strip().lower()
+        if (ctype not in _ACCEPTED_MEDIA_TYPES
+                and not ctype.startswith(_ACCEPTED_MEDIA_PREFIXES)):
+            self.close_connection = True
+            self._send_error(
+                415, "unsupported_media_type",
+                f"unsupported Content-Type {ctype!r}; send a netpbm image "
+                "as image/* or application/octet-stream",
+                extra_headers=extra,
+            )
             return
         max_bytes = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
         try:
@@ -142,51 +231,63 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = -1
         if length > max_bytes:
-            # Reject before reading: the body never enters memory.  The
-            # unread bytes would corrupt a keep-alive connection, so
-            # close it after responding.
             self.close_connection = True
-            self._send_json(413, {
-                "error": f"body of {length} bytes exceeds the "
-                         f"{max_bytes}-byte limit",
-            })
+            self._send_error(
+                413, "payload_too_large",
+                f"body of {length} bytes exceeds the {max_bytes}-byte limit",
+                extra_headers=extra,
+            )
             return
         if length <= 0:
-            self._send_json(400, {"error": "missing or invalid body"})
+            self._send_error(
+                400, "bad_request", "missing or invalid body",
+                extra_headers=extra,
+            )
             return
         body = self.rfile.read(length)
         try:
             img = decode_netpbm(body)
         except ValueError as exc:
-            self._send_json(400, {"error": f"bad netpbm payload: {exc}"})
+            self._send_error(
+                400, "bad_request", f"bad netpbm payload: {exc}",
+                extra_headers=extra,
+            )
             return
-        # A well-formed client trace id is adopted (so one trace spans
-        # client and server); anything else is ignored and a fresh id is
-        # generated by the engine.
-        trace_id = self.headers.get("X-Trace-Id", "").strip().lower()
-        if not _TRACE_ID_RE.fullmatch(trace_id):
-            trace_id = None
         try:
-            result = upscale_array_ex(self.engine, img, trace_id=trace_id)
+            result = upscale_array_ex(
+                self.engine, img, trace_id=self._client_trace_id()
+            )
         except (EngineOverloaded, EngineClosed) as exc:
-            self._send_json(503, {"error": str(exc)})
+            self._send_error(
+                503, "unavailable", str(exc), extra_headers=extra
+            )
             return
         except RequestTimeout as exc:
-            self._send_json(504, {"error": str(exc)})
+            self._send_error(
+                504, "deadline_exceeded", str(exc), extra_headers=extra
+            )
             return
         except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
-            self._send_json(500, {"error": f"inference failed: {exc}"})
+            self._send_error(
+                500, "internal", f"inference failed: {exc}",
+                extra_headers=extra,
+            )
             return
         payload = encode_netpbm(result.image)
+        headers = dict(extra)
+        headers["X-Degraded"] = "true" if result.degraded else "false"
+        headers["X-Trace-Id"] = result.trace_id
         self._send_bytes(
-            200, payload, "application/octet-stream",
-            extra_headers={
-                "X-Degraded": "true" if result.degraded else "false",
-                "X-Trace-Id": result.trace_id,
-            },
+            200, payload, "application/octet-stream", extra_headers=headers
         )
 
     # ------------------------------------------------------------------ #
+    def _client_trace_id(self) -> Optional[str]:
+        """A well-formed client ``X-Trace-Id`` (adopted so one trace spans
+        client and server), else ``None``."""
+        trace_id = self.headers.get("X-Trace-Id", "").strip().lower()
+        return trace_id if _TRACE_ID_RE.fullmatch(trace_id) else None
+
     def _send_bytes(self, code: int, payload: bytes, ctype: str,
                     extra_headers: Optional[dict] = None) -> None:
         self.send_response(code)
@@ -197,11 +298,26 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, code: int, obj: dict) -> None:
+    def _send_json(self, code: int, obj: dict,
+                   extra_headers: Optional[dict] = None) -> None:
         self._send_bytes(
             code, json.dumps(obj, indent=2).encode() + b"\n",
-            "application/json",
+            "application/json", extra_headers=extra_headers,
         )
+
+    def _send_error(self, code: int, error_code: str, message: str,
+                    extra_headers: Optional[dict] = None) -> None:
+        """The one error shape every non-2xx response uses."""
+        trace_id = self._client_trace_id() or new_trace_id()
+        headers = dict(extra_headers or {})
+        headers["X-Trace-Id"] = trace_id
+        self._send_json(code, {
+            "error": {
+                "code": error_code,
+                "message": message,
+                "trace_id": trace_id,
+            },
+        }, extra_headers=headers)
 
     def log_message(self, fmt: str, *args) -> None:
         if getattr(self.server, "verbose", False):

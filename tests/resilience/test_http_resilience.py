@@ -61,7 +61,8 @@ class TestBodySizeLimit:
             post(server, "/upscale", body)
         assert err.value.code == 413
         detail = json.load(err.value)
-        assert "exceeds" in detail["error"]
+        assert detail["error"]["code"] == "payload_too_large"
+        assert "exceeds" in detail["error"]["message"]
 
     def test_server_still_healthy_after_rejections(self, server):
         # The unread oversized body must not wedge or corrupt the listener.

@@ -1,0 +1,136 @@
+"""EngineConfig: validation, normalisation, and the deprecation shim."""
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.serve import EngineConfig, InferenceEngine, ModelKey, ModelRegistry
+from repro.serve import engine as engine_mod
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ModelRegistry()
+
+
+KEY = ModelKey("M3", 2)
+
+
+# --------------------------------------------------------------------- #
+# the value object
+# --------------------------------------------------------------------- #
+def test_defaults_are_valid_and_frozen():
+    cfg = EngineConfig()
+    assert cfg.workers == 4
+    assert cfg.tile == (96, 96)  # int normalised to a pair
+    assert cfg.batch_window_ms == 0.0  # coalescing off by default
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.workers = 8
+
+
+def test_tile_pair_normalisation():
+    assert EngineConfig(tile=(48, 64)).tile == (48, 64)
+    assert EngineConfig(tile=[32, 32]).tile == (32, 32)
+
+
+@pytest.mark.parametrize("bad", [
+    {"workers": 0},
+    {"tile": 0},
+    {"tile": (8, 0)},
+    {"tile": (8, 8, 8)},
+    {"halo": -1},
+    {"max_batch": 0},
+    {"batch_window_ms": -1.0},
+    {"cache_size": -1},
+    {"max_pending": 0},
+    {"default_timeout": 0.0},
+    {"retry": "nope"},
+    {"breaker_threshold": 0},
+    {"breaker_cooldown": -1.0},
+    {"supervise_interval": 0.0},
+    {"wedge_timeout": 0.0},
+])
+def test_validation_rejects(bad):
+    with pytest.raises((ValueError, TypeError)):
+        EngineConfig(**bad)
+
+
+def test_replace_revalidates():
+    cfg = EngineConfig(workers=2)
+    assert cfg.replace(workers=6).workers == 6
+    assert cfg.workers == 2  # original untouched
+    with pytest.raises(ValueError):
+        cfg.replace(workers=-1)
+
+
+def test_to_dict_is_json_serialisable():
+    cfg = EngineConfig(tile=48, retry=RetryPolicy(max_attempts=2))
+    d = json.loads(json.dumps(cfg.to_dict()))
+    assert d["tile"] == [48, 48]
+    assert d["retry"]["max_attempts"] == 2
+
+
+def test_describe_mentions_every_knob_group():
+    text = EngineConfig(batch_window_ms=4.0, degraded_mode=True).describe()
+    assert "window 4 ms" in text
+    assert "workers" in text and "admission" in text and "resilience" in text
+
+
+# --------------------------------------------------------------------- #
+# engine construction
+# --------------------------------------------------------------------- #
+def test_engine_accepts_config(registry):
+    cfg = EngineConfig(workers=1, tile=32, cache_size=0, supervise=False)
+    eng = InferenceEngine(registry, KEY, config=cfg)
+    try:
+        assert eng.config is cfg
+        assert eng.tile == (32, 32)
+        stats_cfg = eng.stats()["config"]
+        assert stats_cfg["workers"] == 1
+        assert stats_cfg["batch_window_ms"] == 0.0
+        assert stats_cfg["model"] == "M3"
+    finally:
+        eng.shutdown()
+
+
+def test_legacy_kwargs_warn_once_and_map_to_config(registry, monkeypatch):
+    monkeypatch.setattr(engine_mod, "_legacy_kwargs_warned", False)
+    with pytest.warns(DeprecationWarning, match="EngineConfig"):
+        eng = InferenceEngine(
+            registry, KEY, workers=1, tile=32, cache_size=0, supervise=False
+        )
+    try:
+        assert eng.config.workers == 1
+        assert eng.config.tile == (32, 32)
+    finally:
+        eng.shutdown()
+    # second legacy construction is silent (warn-once)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        eng2 = InferenceEngine(registry, KEY, workers=1, supervise=False)
+        eng2.shutdown()
+
+
+def test_legacy_engine_still_serves(registry, monkeypatch):
+    monkeypatch.setattr(engine_mod, "_legacy_kwargs_warned", True)
+    eng = InferenceEngine(registry, KEY, workers=1, tile=32, supervise=False)
+    try:
+        rng = np.random.default_rng(0)
+        img = rng.random((20, 20)).astype(np.float32)
+        assert eng.upscale(img).shape == (40, 40)
+    finally:
+        eng.shutdown()
+
+
+def test_config_and_legacy_kwargs_are_mutually_exclusive(registry):
+    with pytest.raises(TypeError, match="not both"):
+        InferenceEngine(registry, KEY, config=EngineConfig(), workers=2)
+
+
+def test_unknown_kwargs_rejected(registry):
+    with pytest.raises(TypeError, match="unknown"):
+        InferenceEngine(registry, KEY, wrokers=2)

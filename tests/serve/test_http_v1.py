@@ -1,0 +1,178 @@
+"""The versioned ``/v1`` HTTP API: routes, error schema, deprecation.
+
+Pins the redesigned wire contract from ``docs/serving.md``:
+
+* ``/v1/upscale``, ``/v1/healthz``, ``/v1/stats``, ``/v1/metrics`` are
+  the documented routes and carry no deprecation signal;
+* the unversioned originals still work byte-for-byte but answer with
+  ``Deprecation: true`` and a ``Link: ...; rel="successor-version"``
+  header naming their replacement;
+* every non-2xx body is ``{"error": {code, message, trace_id}}``, and
+  header validation (Content-Type, Content-Length) happens before the
+  body is read.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import decode_netpbm, encode_netpbm
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    engine = InferenceEngine(
+        ModelRegistry(), ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, tile=16, cache_size=8),
+    )
+    srv = make_server(engine, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.close()
+    thread.join(timeout=5)
+
+
+def url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def post(server, path, body, headers=None):
+    req = urllib.request.Request(
+        url(server, path), data=body, method="POST", headers=headers or {}
+    )
+    return urllib.request.urlopen(req, timeout=30)
+
+
+def get(server, path):
+    return urllib.request.urlopen(url(server, path), timeout=30)
+
+
+def error_body(err: urllib.error.HTTPError) -> dict:
+    detail = json.load(err)["error"]
+    assert set(detail) == {"code", "message", "trace_id"}
+    assert len(detail["trace_id"]) == 16
+    return detail
+
+
+GREY = encode_netpbm(
+    np.random.default_rng(0).random((12, 12)).astype(np.float32)
+)
+
+
+# --------------------------------------------------------------------- #
+# v1 routes
+# --------------------------------------------------------------------- #
+class TestV1Routes:
+    def test_healthz(self, server):
+        with get(server, "/v1/healthz") as resp:
+            body = json.load(resp)
+            assert resp.headers.get("Deprecation") is None
+        assert body["status"] == "ok"
+        assert body["api_version"] == "v1"
+
+    def test_stats_has_batching_section(self, server):
+        with get(server, "/v1/stats") as resp:
+            stats = json.load(resp)
+        assert "batching" in stats
+        assert stats["batching"]["window_ms"] == 0.0
+        assert stats["config"]["model"] == "M3"
+
+    def test_metrics_is_prometheus_text(self, server):
+        with post(server, "/v1/upscale", GREY):  # ensure metrics exist
+            pass
+        with get(server, "/v1/metrics") as resp:
+            assert "text/plain" in resp.headers["Content-Type"]
+            text = resp.read().decode()
+        assert "repro_engine_requests_total" in text
+        assert "repro_engine_batch_size" in text
+
+    def test_upscale_round_trip(self, server):
+        with post(server, "/v1/upscale", GREY) as resp:
+            assert resp.headers.get("Deprecation") is None
+            assert resp.headers["X-Degraded"] == "false"
+            out = decode_netpbm(resp.read())
+        assert out.shape == (24, 24)
+
+    def test_unknown_v1_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/v1/nope")
+        assert err.value.code == 404
+        assert error_body(err.value)["code"] == "not_found"
+
+
+# --------------------------------------------------------------------- #
+# unversioned compatibility
+# --------------------------------------------------------------------- #
+class TestDeprecatedRoutes:
+    @pytest.mark.parametrize("path", ["/healthz", "/stats", "/metrics"])
+    def test_legacy_get_works_with_deprecation_headers(self, server, path):
+        with get(server, path) as resp:
+            assert resp.status == 200
+            assert resp.headers["Deprecation"] == "true"
+            link = resp.headers["Link"]
+        assert f"</v1{path}>" in link and 'rel="successor-version"' in link
+
+    def test_legacy_upscale_works_with_deprecation_headers(self, server):
+        with post(server, "/upscale", GREY) as resp:
+            assert resp.headers["Deprecation"] == "true"
+            assert "</v1/upscale>" in resp.headers["Link"]
+            legacy = resp.read()
+        with post(server, "/v1/upscale", GREY) as resp:
+            assert decode_netpbm(resp.read()).tobytes() == \
+                decode_netpbm(legacy).tobytes()
+
+
+# --------------------------------------------------------------------- #
+# error schema
+# --------------------------------------------------------------------- #
+class TestErrorSchema:
+    def test_bad_payload_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/v1/upscale", b"not a netpbm image")
+        assert err.value.code == 400
+        detail = error_body(err.value)
+        assert detail["code"] == "bad_request"
+        assert "netpbm" in detail["message"]
+
+    def test_unsupported_media_type_is_415(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/v1/upscale", GREY,
+                 headers={"Content-Type": "application/json"})
+        assert err.value.code == 415
+        assert error_body(err.value)["code"] == "unsupported_media_type"
+
+    @pytest.mark.parametrize("ctype", [
+        "image/x-portable-graymap", "application/octet-stream",
+        "text/plain; charset=utf-8",
+    ])
+    def test_accepted_media_types(self, server, ctype):
+        with post(server, "/v1/upscale", GREY,
+                  headers={"Content-Type": ctype}) as resp:
+            assert resp.status == 200
+
+    def test_error_adopts_client_trace_id(self, server):
+        tid = "deadbeefdeadbeef"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/v1/upscale", b"junk",
+                 headers={"X-Trace-Id": tid})
+        assert error_body(err.value)["trace_id"] == tid
+        assert err.value.headers["X-Trace-Id"] == tid
+
+    def test_error_mints_trace_id_when_client_sends_none(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/v1/upscale", b"junk")
+        detail = error_body(err.value)
+        assert detail["trace_id"] == err.value.headers["X-Trace-Id"]

@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.nn",
     "repro.core",
     "repro.datasets",

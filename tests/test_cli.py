@@ -46,6 +46,31 @@ class TestServeErrors:
         assert "SESR-M5" in err  # the error lists what *is* deployable
 
 
+class TestServeFlags:
+    def test_batching_flags_have_safe_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.batch_window_ms == 0.0  # coalescing opt-in
+        assert args.max_batch == 8
+
+    def test_serve_builds_and_prints_an_engine_config(self, capsys,
+                                                      monkeypatch):
+        # Short-circuit serve_forever so cmd_serve starts, prints its
+        # config banner, and drains immediately.
+        from repro.serve import SRServer
+
+        monkeypatch.setattr(
+            SRServer, "serve_forever",
+            lambda self, *a, **k: (_ for _ in ()).throw(KeyboardInterrupt),
+        )
+        assert main(["serve", "--model", "M3", "--port", "0",
+                     "--workers", "1", "--batch-window-ms", "4",
+                     "--tile", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "workers 1" in out and "tile 32x32" in out
+        assert "cross-request window 4 ms" in out
+        assert "POST /v1/upscale" in out
+
+
 class TestEstimate:
     def test_estimate_runs(self, capsys):
         assert main(["estimate", "--resolution", "640x360"]) == 0
