@@ -402,7 +402,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         name=args.model, scale=args.scale, ckpt=args.ckpt,
         precision=args.precision,
     )
-    config = EngineConfig(
+    config_kwargs = dict(
         workers=args.workers,
         tile=args.tile,
         microbatch=args.microbatch,
@@ -418,16 +418,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wedge_timeout=args.timeout * 4,
         compiled=not args.no_compile,
     )
+    # Omitted => EngineConfig's default applies, which honours the
+    # REPRO_WORKER_BACKEND environment variable.
+    if args.worker_backend:
+        config_kwargs["worker_backend"] = args.worker_backend
+    try:
+        config = EngineConfig(**config_kwargs)
+    except ValueError as exc:
+        print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
+        return 2
     try:
         engine = InferenceEngine(registry, key, config=config)
     except (KeyError, FileNotFoundError, CheckpointCorrupt) as exc:
         print(f"repro serve: error: {exc.args[0]}", file=sys.stderr)
         return 2
-    server = make_server(engine, args.host, args.port, verbose=args.verbose,
-                         max_body_bytes=args.max_body_bytes)
+    if args.frontend == "async":
+        from .dataplane import make_async_server
+
+        server = make_async_server(
+            engine, args.host, args.port, verbose=args.verbose,
+            max_body_bytes=args.max_body_bytes,
+        )
+    else:
+        server = make_server(
+            engine, args.host, args.port, verbose=args.verbose,
+            max_body_bytes=args.max_body_bytes,
+        )
     host, port = server.server_address[:2]
     print(f"serving {args.model} x{args.scale} ({args.precision}) "
-          f"on http://{host}:{port}")
+          f"on http://{host}:{port} [{args.frontend} frontend]")
     print(config.describe())
     print("endpoints: POST /v1/upscale  GET /v1/healthz  GET /v1/stats  "
           "GET /v1/metrics  (Ctrl-C stops)")
@@ -508,7 +527,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8000,
                    help="TCP port (0 = ephemeral)")
     p.add_argument("--workers", type=int, default=4,
-                   help="inference worker threads")
+                   help="inference workers (threads or processes, see "
+                        "--worker-backend)")
+    p.add_argument("--worker-backend", choices=("thread", "process"),
+                   default=None,
+                   help="where tile compute runs: 'thread' (in-process) "
+                        "or 'process' (spawned workers + shared-memory "
+                        "tile arenas; escapes the GIL).  Default: the "
+                        "REPRO_WORKER_BACKEND env var, else 'thread'")
+    p.add_argument("--frontend", choices=("sync", "async"), default="sync",
+                   help="HTTP front-end: 'sync' (thread per connection) "
+                        "or 'async' (single event loop; same /v1 wire "
+                        "contract)")
     p.add_argument("--tile", type=int, default=96,
                    help="LR tile size fanned across workers")
     p.add_argument("--precision", choices=("fp32", "int8"), default="fp32",

@@ -96,6 +96,30 @@ class CompiledModel(Module):
             return self._runs
 
     # ------------------------------------------------------------------ #
+    # pickling (the dataplane's plan/weights handoff to process workers)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        """Only the graph (weights ride along by reference), plan, and
+        provenance travel; locks, thread-local arenas, prepared steps, and
+        the run counter are rebuilt on load.  A round-tripped model is
+        bit-identical to the original (pinned by
+        ``tests/dataplane/test_pickling.py``)."""
+        return {
+            "graph": self.graph,
+            "plan": self.plan,
+            "pass_log": self.pass_log,
+            "source": self.source,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(
+            state["graph"],
+            plan=state["plan"],
+            pass_log=state["pass_log"],
+            source=state["source"],
+        )
+
+    # ------------------------------------------------------------------ #
     # step preparation (once per model)
     # ------------------------------------------------------------------ #
     def _prepare(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,306 @@
+"""Shared-memory tile arenas: zero-copy input/output transfer to workers.
+
+A :class:`SharedTileArena` is one ``multiprocessing.shared_memory``
+segment partitioned into fixed-size **slots**.  For every tile (or
+coalesced tile batch) the engine's dispatcher thread allocates a slot,
+writes the halo-padded input patch into the slot's *input region*, and
+sends only a tiny :class:`~repro.dataplane.envelope.JobEnvelope` (slot
+index + generation + shape) down the worker's pipe; the worker process
+maps the same segment, computes, writes the upscaled result into the
+slot's *output region*, and replies with another small envelope.  Pixels
+never transit the pipe — the only per-job pickling is a few dozen bytes
+of metadata, which is what makes the process data plane cheap enough to
+beat GIL-bound threads.
+
+Slot sizing comes from the same arithmetic the compile-side liveness
+planner uses (per-pixel float32 units, see
+:class:`repro.compile.planner.BufferPlan`): the input region holds
+``max_batch`` halo-padded LR tiles and the output region holds their
+``scale²``-upsampled results — :func:`slot_layout` computes both from the
+engine's tile/halo/batch configuration.  Each worker's *intermediate*
+activations never touch this arena at all; they live in the worker's own
+planner-sized :class:`~repro.compile.CompiledModel` arenas.
+
+**Free list + generation tags.**  Allocation is a lock-guarded free list
+(O(1) alloc/free, blocking when every slot is in flight — admission
+control already bounds that above).  Every slot carries a monotonically
+increasing *generation*, bumped on each free and stamped both in the
+parent's table and in an 8-byte header inside the slot itself.  A job
+envelope names ``(slot, generation)``; workers verify the in-slot header
+against the envelope before reading and echo the pair in the reply, and
+the parent re-verifies on receipt (:meth:`SharedTileArena.check`).  A
+slot owned by a crashed worker is only recycled *after* the pool has
+confirmed the process dead (terminate + join), so a half-dead worker can
+never scribble over a frame that a later request is using — and if
+bookkeeping is ever wrong anyway, the generation check turns silent
+corruption into a loud :class:`StaleSlot`.
+
+**Lifecycle.**  The creating process (the engine) owns the segment:
+:meth:`close` unmaps *and unlinks* it, so a drained engine leaves nothing
+in ``/dev/shm`` (asserted by ``tests/dataplane/test_shutdown_reap.py``).
+Workers attach by name with ``create=False`` and merely unmap on exit;
+attachment deregisters from the child's ``resource_tracker`` so an
+exiting worker cannot unlink a segment the parent still serves from.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArenaSlot",
+    "ArenaExhausted",
+    "SharedTileArena",
+    "StaleSlot",
+    "attach_arena",
+    "slot_layout",
+]
+
+#: bytes reserved at the head of every slot for the generation stamp.
+_HEADER_BYTES = 8
+
+_GEN_DTYPE = np.uint64
+
+
+class StaleSlot(RuntimeError):
+    """A slot/generation pair no longer names live data.
+
+    Raised when a reply (or a worker-side read) carries a generation that
+    does not match the slot's current stamp — the signature of a write
+    landing after its slot was recycled.
+    """
+
+
+class ArenaExhausted(RuntimeError):
+    """No free slot became available within the allocation timeout."""
+
+
+@dataclass(frozen=True)
+class ArenaSlot:
+    """A leased slot: index + the generation it was leased under."""
+
+    index: int
+    generation: int
+
+
+def slot_layout(
+    tile: Tuple[int, int], halo: int, scale: int, max_batch: int
+) -> Tuple[int, int]:
+    """``(in_bytes, out_bytes)`` one slot must hold for an engine config.
+
+    Same per-pixel accounting the buffer planner uses: a slot carries up
+    to ``max_batch`` float32 halo-padded LR tiles in and their ``scale²``
+    upsampled cores out.  Tiles at an image edge are smaller, never
+    larger, so this is the worst case.
+    """
+    th, tw = tile
+    hpix = (th + 2 * halo) * (tw + 2 * halo)
+    in_bytes = 4 * max_batch * hpix
+    out_bytes = in_bytes * scale * scale
+    return in_bytes, out_bytes
+
+
+def _new_segment_name() -> str:
+    return f"repro-dp-{os.getpid()}-{os.urandom(4).hex()}"
+
+
+class SharedTileArena:
+    """Free-list allocator over one shared-memory segment of tile slots.
+
+    Parameters
+    ----------
+    in_bytes, out_bytes:
+        Capacity of each slot's input and output region (see
+        :func:`slot_layout`).
+    slots:
+        Number of slots.  The pool sizes this to ``workers + spares`` —
+        each dispatcher thread holds at most one slot per in-flight job.
+    name:
+        Attach to an existing segment instead of creating one (worker
+        side — see :func:`attach_arena`).
+    """
+
+    def __init__(
+        self,
+        in_bytes: int,
+        out_bytes: int,
+        slots: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if in_bytes < 1 or out_bytes < 1:
+            raise ValueError("slot regions must be at least one byte")
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        from multiprocessing import shared_memory
+
+        self.in_bytes = int(in_bytes)
+        self.out_bytes = int(out_bytes)
+        self.slots = int(slots)
+        self.slot_bytes = _HEADER_BYTES + self.in_bytes + self.out_bytes
+        self._owner = name is None
+        if self._owner:
+            self._shm = shared_memory.SharedMemory(
+                name=_new_segment_name(), create=True,
+                size=self.slot_bytes * self.slots,
+            )
+        else:
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+            _untrack_attachment(self._shm)
+        self.name = self._shm.name.lstrip("/")
+        self._buf = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        self._lock = threading.Lock()
+        self._free_cond = threading.Condition(self._lock)
+        self._free = list(range(self.slots - 1, -1, -1))
+        self._gens = [0] * self.slots
+        self._closed = False
+        if self._owner:
+            for i in range(self.slots):
+                self._stamp(i, 0)
+
+    # ------------------------------------------------------------------ #
+    # generation stamps (in-segment, visible to both sides)
+    # ------------------------------------------------------------------ #
+    def _header(self, index: int) -> np.ndarray:
+        off = index * self.slot_bytes
+        return self._buf[off:off + _HEADER_BYTES].view(_GEN_DTYPE)
+
+    def _stamp(self, index: int, generation: int) -> None:
+        self._header(index)[0] = _GEN_DTYPE(generation)
+
+    def generation(self, index: int) -> int:
+        """The slot's current in-segment generation stamp."""
+        return int(self._header(index)[0])
+
+    def check(self, slot: ArenaSlot) -> None:
+        """Raise :class:`StaleSlot` unless ``slot`` still names live data."""
+        seen = self.generation(slot.index)
+        if seen != slot.generation:
+            raise StaleSlot(
+                f"slot {slot.index} is at generation {seen}, "
+                f"job was leased at {slot.generation}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # allocation (engine side)
+    # ------------------------------------------------------------------ #
+    def alloc(self, timeout: Optional[float] = None) -> ArenaSlot:
+        """Lease a free slot; blocks up to ``timeout`` seconds.
+
+        Raises :class:`ArenaExhausted` on timeout — callers treat it like
+        any other transient tile failure (retryable).
+        """
+        with self._free_cond:
+            if not self._free:
+                self._free_cond.wait_for(lambda: bool(self._free),
+                                         timeout=timeout)
+            if not self._free:
+                raise ArenaExhausted(
+                    f"no free slot in {self.slots}-slot arena "
+                    f"{self.name!r} after {timeout}s"
+                )
+            index = self._free.pop()
+            return ArenaSlot(index, self._gens[index])
+
+    def free(self, slot: ArenaSlot) -> None:
+        """Return a leased slot; bumps its generation so in-flight
+        references to the old lease go stale."""
+        with self._free_cond:
+            if self._closed:
+                return
+            gen = self._gens[slot.index] + 1
+            self._gens[slot.index] = gen
+            self._stamp(slot.index, gen)
+            self._free.append(slot.index)
+            self._free_cond.notify()
+
+    def in_use(self) -> int:
+        """Slots currently leased."""
+        with self._lock:
+            return self.slots - len(self._free)
+
+    # ------------------------------------------------------------------ #
+    # views (both sides)
+    # ------------------------------------------------------------------ #
+    def in_view(self, slot: ArenaSlot, shape: Tuple[int, ...]) -> np.ndarray:
+        """Float32 view of the slot's input region shaped ``shape``."""
+        return self._region(slot.index, _HEADER_BYTES, self.in_bytes, shape)
+
+    def out_view(self, slot: ArenaSlot, shape: Tuple[int, ...]) -> np.ndarray:
+        """Float32 view of the slot's output region shaped ``shape``."""
+        return self._region(
+            slot.index, _HEADER_BYTES + self.in_bytes, self.out_bytes, shape
+        )
+
+    def _region(self, index: int, offset: int, capacity: int,
+                shape: Tuple[int, ...]) -> np.ndarray:
+        need = 4 * int(np.prod(shape))
+        if need > capacity:
+            raise ValueError(
+                f"shape {shape} needs {need} bytes, region holds {capacity}"
+            )
+        start = index * self.slot_bytes + offset
+        return self._buf[start:start + need].view(np.float32).reshape(shape)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unmap, and (when owner) unlink the segment.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._buf = None  # release the exported memoryview before close()
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SharedTileArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "segment": self.name,
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+            "in_use": self.in_use(),
+            "total_bytes": self.slot_bytes * self.slots,
+        }
+
+
+def attach_arena(name: str, in_bytes: int, out_bytes: int,
+                 slots: int) -> SharedTileArena:
+    """Worker-side attach to the arena the engine created (no unlink)."""
+    return SharedTileArena(in_bytes, out_bytes, slots, name=name)
+
+
+def _untrack_attachment(shm) -> None:
+    """Keep attachment bookkeeping from fighting the owner's cleanup.
+
+    On 3.9–3.12 attaching *also* registers the segment with the resource
+    tracker (3.13 grew ``track=False`` for this).  Our workers are
+    spawned from the engine, so they inherit the engine's tracker
+    process: the duplicate registration lands in the same set and
+    dedupes, and the engine's ``unlink`` is the single cleanup point —
+    unregistering here would strip the engine's own registration and
+    make that unlink double-unregister.  So attachment-side untracking
+    is deliberately a no-op for tracker-sharing processes; the hook
+    stays as the seam where a foreign-process attach (its own tracker,
+    which would unlink on exit and yank memory from under the engine)
+    would need ``resource_tracker.unregister``.
+    """

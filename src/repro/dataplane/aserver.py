@@ -1,0 +1,441 @@
+"""Asyncio HTTP front-end: the data plane's replacement for ``SRServer``.
+
+Same API, different concurrency model.  :class:`AsyncSRServer` serves the
+exact wire contract of :class:`repro.serve.SRServer` — the ``/v1`` route
+table, the unversioned paths with their ``Deprecation``/``Link``
+headers, the one-shape JSON error schema, header-first 415/413
+rejection, and the ``X-Trace-Id``/``X-Degraded`` response headers are
+all imported from (or pinned against) :mod:`repro.serve.http`, not
+re-invented — but connections are multiplexed on a single event loop
+instead of one thread per socket.  A blocking thread-per-connection
+front-end wastes a thread (and its GIL churn) per idle keep-alive
+connection; the event loop holds thousands of idle connections for free
+and hands actual inference to the engine via ``run_in_executor``, where
+the process worker pool does the heavy lifting outside the GIL
+entirely.
+
+The listening socket binds **eagerly in the constructor** (like
+``SRServer``), so ``server_address`` is final — including a resolved
+ephemeral port — before ``serve_forever()``/``start()`` runs; tests and
+the CLI print the address without racing the loop.
+
+Lifecycle mirrors ``SRServer``: ``serve_forever()`` runs the loop in the
+calling thread (the CLI does this; ``KeyboardInterrupt`` from the
+SIGINT/SIGTERM handlers unwinds it cleanly), ``start()`` runs it on a
+background thread for tests, and ``close()`` — idempotent, callable from
+any thread — stops the loop, joins the thread, closes the socket, and
+drains the engine (which reaps process workers and unlinks shared-memory
+arenas when the process backend is active).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from email.utils import formatdate
+from typing import Dict, Optional, Tuple
+
+from ..datasets import decode_netpbm, encode_netpbm
+from ..obs import get_tracer, render_prometheus
+from ..obs import profiler as _profiler
+from ..obs.trace import new_trace_id
+from ..serve.engine import (
+    EngineClosed,
+    EngineOverloaded,
+    InferenceEngine,
+    RequestTimeout,
+)
+from ..serve.http import (
+    _ACCEPTED_MEDIA_PREFIXES,
+    _ACCEPTED_MEDIA_TYPES,
+    _ROUTES,
+    _TRACE_ID_RE,
+    API_VERSION,
+    MAX_BODY_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
+    upscale_array_ex,
+)
+
+__all__ = ["AsyncSRServer", "make_async_server"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    413: "Request Entity Too Large", 415: "Unsupported Media Type",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_SERVER_ID = "repro-serve/1.0"
+
+
+def _resolve_route(path: str) -> Tuple[Optional[str], Dict[str, str]]:
+    """Same resolution as ``SRRequestHandler._route`` (path → route plus
+    deprecation headers for unversioned paths)."""
+    path = path.split("?", 1)[0]
+    prefix = f"/{API_VERSION}"
+    if path.startswith(prefix + "/"):
+        route = path[len(prefix):]
+        return (route, {}) if route in _ROUTES else (None, {})
+    if path in _ROUTES:
+        return path, {
+            "Deprecation": "true",
+            "Link": f'<{prefix}{path}>; rel="successor-version"',
+        }
+    return None, {}
+
+
+class _Response:
+    """One buffered HTTP response (status + headers + body)."""
+
+    __slots__ = ("code", "body", "ctype", "headers", "close")
+
+    def __init__(self, code: int, body: bytes, ctype: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 close: bool = False) -> None:
+        self.code = code
+        self.body = body
+        self.ctype = ctype
+        self.headers = headers or {}
+        self.close = close
+
+    def render(self, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.code, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.code} {reason}",
+            f"Server: {_SERVER_ID}",
+            f"Date: {formatdate(usegmt=True)}",
+            f"Content-Type: {self.ctype}",
+            f"Content-Length: {len(self.body)}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        if self.close or not keep_alive:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def _json_response(code: int, obj: dict,
+                   headers: Optional[Dict[str, str]] = None,
+                   close: bool = False) -> _Response:
+    # Byte-identical to SRRequestHandler._send_json: indent=2 + newline.
+    body = json.dumps(obj, indent=2).encode() + b"\n"
+    return _Response(code, body, "application/json", headers, close)
+
+
+def _error_response(code: int, error_code: str, message: str,
+                    trace_id: Optional[str] = None,
+                    headers: Optional[Dict[str, str]] = None,
+                    close: bool = False) -> _Response:
+    trace_id = trace_id or new_trace_id()
+    hdrs = dict(headers or {})
+    hdrs["X-Trace-Id"] = trace_id
+    return _json_response(code, {
+        "error": {
+            "code": error_code,
+            "message": message,
+            "trace_id": trace_id,
+        },
+    }, headers=hdrs, close=close)
+
+
+class AsyncSRServer:
+    """Event-loop HTTP server over one :class:`InferenceEngine`.
+
+    Construction binds the socket; nothing is served until
+    :meth:`serve_forever` (foreground) or :meth:`start` (background
+    thread) runs.  Use as a context manager in tests::
+
+        with AsyncSRServer(engine, ("127.0.0.1", 0)) as srv:
+            host, port = srv.server_address
+            ...
+
+    ``close()`` is idempotent and shuts the engine down, exactly like
+    ``SRServer.close``.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        address: Tuple[str, int] = ("127.0.0.1", 8000),
+        verbose: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        self.engine = engine
+        self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
+        self._sock = socket.create_server(address)
+        self.server_address = self._sock.getsockname()[:2]
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Future] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Run the accept loop in the calling thread until :meth:`close`."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        with self._lock:
+            if self._closed:
+                loop.close()
+                return
+            self._loop = loop
+            self._stop = loop.create_future()
+        server = loop.run_until_complete(
+            asyncio.start_server(self._handle_client, sock=self._sock)
+        )
+        self._started.set()
+        try:
+            loop.run_until_complete(self._stop)
+        finally:
+            self._teardown(loop, server)
+
+    def start(self) -> "AsyncSRServer":
+        """Serve on a daemon thread (test harness convenience)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="sr-aserver", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        return self
+
+    def close(self) -> None:
+        """Stop serving and drain the engine.  Idempotent, thread-safe."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, stop = self._loop, self._stop
+        if loop is not None and not loop.is_closed():
+            def _finish() -> None:
+                if stop is not None and not stop.done():
+                    stop.set_result(None)
+            try:
+                loop.call_soon_threadsafe(_finish)
+            except RuntimeError:  # loop closed between check and call
+                pass
+        if (self._thread is not None
+                and self._thread is not threading.current_thread()):
+            self._thread.join(timeout=10.0)
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover — already closed by the loop
+            pass
+        self.engine.shutdown()
+
+    def _teardown(self, loop: asyncio.AbstractEventLoop, server) -> None:
+        server.close()
+        try:
+            loop.run_until_complete(server.wait_closed())
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+            with self._lock:
+                self._loop = None
+
+    def __enter__(self) -> "AsyncSRServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_head(reader)
+                if request is None:
+                    break
+                method, path, headers = request
+                response = await self._dispatch(
+                    method, path, headers, reader
+                )
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                writer.write(response.render(keep_alive))
+                await writer.drain()
+                if response.close or not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        """Parse one request line + headers; ``None`` on EOF/garbage."""
+        line = await reader.readline()
+        if not line or b" " not in line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, path, headers
+
+    @staticmethod
+    def _client_trace_id(headers: Dict[str, str]) -> Optional[str]:
+        """A well-formed client ``X-Trace-Id`` (adopted, same as the
+        threaded front-end), else ``None``."""
+        trace_id = headers.get("x-trace-id", "").strip().lower()
+        return trace_id if _TRACE_ID_RE.fullmatch(trace_id) else None
+
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str],
+                        reader: asyncio.StreamReader) -> _Response:
+        route, extra = _resolve_route(path)
+        if method == "GET" and route in ("/healthz", "/stats", "/metrics"):
+            return await self._do_get(route, extra)
+        if method == "POST" and route == "/upscale":
+            return await self._do_upscale(headers, extra, reader)
+        return _error_response(
+            404, "not_found", f"unknown path {path!r}",
+            trace_id=self._client_trace_id(headers),
+        )
+
+    async def _do_get(self, route: str,
+                      extra: Dict[str, str]) -> _Response:
+        loop = asyncio.get_event_loop()
+        if route == "/healthz":
+            key = self.engine.key
+            return _json_response(200, {
+                "status": ("ok" if not self.engine.closed
+                           else "shutting-down"),
+                "model": key.name,
+                "scale": key.scale,
+                "precision": key.precision,
+                "api_version": API_VERSION,
+            }, headers=extra)
+        if route == "/stats":
+            stats = await loop.run_in_executor(None, self.engine.stats)
+            return _json_response(200, stats, headers=extra)
+        text = await loop.run_in_executor(
+            None,
+            lambda: render_prometheus(
+                self.engine.stats(),
+                tracer=get_tracer(),
+                profiler=_profiler.ACTIVE,
+            ),
+        )
+        return _Response(
+            200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
+            headers=extra,
+        )
+
+    async def _do_upscale(self, headers: Dict[str, str],
+                          extra: Dict[str, str],
+                          reader: asyncio.StreamReader) -> _Response:
+        # Header-first validation, same order and same close-connection
+        # semantics as the threaded front-end: an unacceptable upload is
+        # refused before one body byte is read, and the connection drops
+        # (the unread body would corrupt the keep-alive stream).
+        trace_id = self._client_trace_id(headers)
+        ctype = headers.get("content-type", "")
+        ctype = ctype.split(";", 1)[0].strip().lower()
+        if (ctype not in _ACCEPTED_MEDIA_TYPES
+                and not ctype.startswith(_ACCEPTED_MEDIA_PREFIXES)):
+            return _error_response(
+                415, "unsupported_media_type",
+                f"unsupported Content-Type {ctype!r}; send a netpbm image "
+                "as image/* or application/octet-stream",
+                trace_id=trace_id, headers=extra, close=True,
+            )
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length > self.max_body_bytes:
+            return _error_response(
+                413, "payload_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+                trace_id=trace_id, headers=extra, close=True,
+            )
+        if length <= 0:
+            return _error_response(
+                400, "bad_request", "missing or invalid body",
+                trace_id=trace_id, headers=extra,
+            )
+        body = await reader.readexactly(length)
+        try:
+            img = decode_netpbm(body)
+        except ValueError as exc:
+            return _error_response(
+                400, "bad_request", f"bad netpbm payload: {exc}",
+                trace_id=trace_id, headers=extra,
+            )
+        loop = asyncio.get_event_loop()
+        try:
+            result = await loop.run_in_executor(
+                None,
+                lambda: upscale_array_ex(
+                    self.engine, img, trace_id=trace_id
+                ),
+            )
+        except (EngineOverloaded, EngineClosed) as exc:
+            return _error_response(
+                503, "unavailable", str(exc),
+                trace_id=trace_id, headers=extra,
+            )
+        except RequestTimeout as exc:
+            return _error_response(
+                504, "deadline_exceeded", str(exc),
+                trace_id=trace_id, headers=extra,
+            )
+        except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
+            return _error_response(
+                500, "internal", f"inference failed: {exc}",
+                trace_id=trace_id, headers=extra,
+            )
+        payload = encode_netpbm(result.image)
+        out = dict(extra)
+        out["X-Degraded"] = "true" if result.degraded else "false"
+        out["X-Trace-Id"] = result.trace_id
+        return _Response(
+            200, payload, "application/octet-stream", headers=out
+        )
+
+
+def make_async_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = False,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> AsyncSRServer:
+    """Bind an :class:`AsyncSRServer`; ``port=0`` picks an ephemeral port."""
+    return AsyncSRServer(engine, (host, port), verbose=verbose,
+                         max_body_bytes=max_body_bytes)

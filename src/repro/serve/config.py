@@ -20,12 +20,26 @@ explicit keyword arguments on the engine; the config carries only values.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from ..resilience import RetryPolicy
 
 __all__ = ["EngineConfig"]
+
+#: worker execution backends an engine can run tiles on.
+WORKER_BACKENDS = ("thread", "process")
+
+
+def _default_backend() -> str:
+    """Library default is ``thread``; ``REPRO_WORKER_BACKEND`` overrides.
+
+    The env var exists so an *unmodified* test suite can be replayed
+    against the process data plane (CI runs the chaos suite both ways).
+    An unknown value fails at construction like any other bad config.
+    """
+    return os.environ.get("REPRO_WORKER_BACKEND", "thread")
 
 
 @dataclass(frozen=True)
@@ -75,6 +89,16 @@ class EngineConfig:
     compiled:
         Run the registry's compiled plan (bit-identical, fused, planned
         buffers); ``False`` is the ``--no-compile`` escape hatch.
+    worker_backend:
+        Where tile compute runs.  ``"thread"`` (default) keeps everything
+        in-process; ``"process"`` proxies compute to a supervised
+        :class:`~repro.dataplane.ProcessWorkerPool` of spawned workers
+        over shared-memory tile arenas — same scheduler, same retries,
+        same bit-exact outputs, but NumPy escapes the GIL.  The default
+        honours the ``REPRO_WORKER_BACKEND`` environment variable so an
+        unmodified suite can run against either backend.  Process
+        workers rebuild the model from a pickled plan/weights handoff,
+        so the model (compiled or eager) must pickle — the zoo's do.
     """
 
     workers: int = 4
@@ -94,6 +118,7 @@ class EngineConfig:
     supervise_interval: float = 0.2
     wedge_timeout: Optional[float] = None
     compiled: bool = True
+    worker_backend: str = field(default_factory=_default_backend)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,6 +155,11 @@ class EngineConfig:
             raise ValueError("supervise_interval must be positive")
         if self.wedge_timeout is not None and self.wedge_timeout <= 0:
             raise ValueError("wedge_timeout must be positive when set")
+        if self.worker_backend not in WORKER_BACKENDS:
+            raise ValueError(
+                f"worker_backend must be one of {WORKER_BACKENDS}, "
+                f"got {self.worker_backend!r}"
+            )
 
     # ------------------------------------------------------------------ #
     def replace(self, **changes) -> "EngineConfig":
@@ -154,7 +184,8 @@ class EngineConfig:
         wedge = ("-" if self.wedge_timeout is None
                  else f"{self.wedge_timeout:g}s")
         return "\n".join([
-            f"  workers {self.workers}, tile {th}x{tw}, halo "
+            f"  workers {self.workers} ({self.worker_backend}), "
+            f"tile {th}x{tw}, halo "
             f"{'auto' if self.halo is None else self.halo}, "
             f"compiled {'on' if self.compiled else 'off'}",
             f"  batching: cross-request {batching}; "

@@ -362,6 +362,23 @@ class InferenceEngine:
         self._retired: set = set()
         self.supervise_interval = config.supervise_interval
         self.wedge_timeout = config.wedge_timeout
+        # Process data plane: dispatcher threads keep the whole control
+        # plane (scheduling, retries, chaos hooks, spans, stitching) and
+        # proxy only the stacked forward pass to spawned workers over
+        # shared-memory arenas.  Imported lazily — repro.dataplane imports
+        # back into this module.
+        self._pool = None
+        if config.worker_backend == "process":
+            from ..dataplane.pool import ProcessWorkerPool
+
+            self._pool = ProcessWorkerPool(
+                self.model,
+                workers=config.workers,
+                tile=self.tile,
+                halo=self.halo,
+                scale=self.scale,
+                max_batch=config.max_batch,
+            )
         self._workers = [self._spawn_worker() for _ in range(config.workers)]
         self._supervisor: Optional[threading.Thread] = None
         if config.supervise:
@@ -636,7 +653,7 @@ class InferenceEngine:
                 j.request.lr[t.hy0:t.hy1, t.hx0:t.hx1]
                 for j, t in zip(jobs, specs)
             ])[..., None]
-            outs = predict_batch_exact(self.model, patches)
+            outs = self._predict_stack(patches, exact=True)
             for j, t, sr in zip(jobs, specs, outs):
                 cy0, cx0 = (t.y0 - t.hy0) * s, (t.x0 - t.hx0) * s
                 cy1 = cy0 + (t.y1 - t.y0) * s
@@ -676,6 +693,27 @@ class InferenceEngine:
                         u = self._retry_rng.random()
                     time.sleep(self.retry.backoff(attempt, u))
 
+    def _predict_stack(self, patches: np.ndarray, exact: bool) -> np.ndarray:
+        """Run an ``(N, h, w, 1)`` tile stack on the configured backend.
+
+        Thread backend: the in-process forward pass.  Process backend:
+        ship the stack through the shared-memory pool — same predict
+        functions worker-side, so the result is bit-identical either
+        way.  A :class:`~repro.dataplane.ProcessWorkerDied` escapes as an
+        ordinary exception, which the callers' retry/fallback machinery
+        absorbs exactly like any transient tile fault.
+        """
+        if self._pool is not None:
+            sp = _trace.current_span()
+            return self._pool.submit(
+                patches,
+                mode="exact" if exact else "stack",
+                ctx=None if sp is None else sp.context,
+            )
+        if exact:
+            return predict_batch_exact(self.model, patches)
+        return predict_batch(self.model, patches)
+
     def _compute(self, request: _Request, specs: List[TileSpec]) -> None:
         lr, s = request.lr, self.scale
         if len(specs) > 1:
@@ -683,7 +721,7 @@ class InferenceEngine:
                 patches = np.stack(
                     [lr[t.hy0 : t.hy1, t.hx0 : t.hx1] for t in specs]
                 )[..., None]
-                outs = predict_batch(self.model, patches)
+                outs = self._predict_stack(patches, exact=False)
             self.telemetry.counter("engine.microbatches").inc()
         else:
             t = specs[0]
@@ -691,9 +729,16 @@ class InferenceEngine:
                 "serve.tile", y0=t.y0, x0=t.x0,
                 h=t.y1 - t.y0, w=t.x1 - t.x0,
             ):
-                outs = [
-                    predict_image(self.model, lr[t.hy0 : t.hy1, t.hx0 : t.hx1])
-                ]
+                patch = lr[t.hy0 : t.hy1, t.hx0 : t.hx1]
+                if self._pool is not None:
+                    # predict_batch_exact on a 1-stack is bit-identical
+                    # to predict_image on the tile (the parity contract),
+                    # so both backends stitch the same pixels.
+                    outs = self._predict_stack(
+                        patch[None, ..., None], exact=True
+                    )
+                else:
+                    outs = [predict_image(self.model, patch)]
         self.telemetry.counter("engine.tiles").inc(len(specs))
         with _trace.span("serve.stitch", tiles=len(specs)):
             for t, sr in zip(specs, outs):
@@ -708,11 +753,22 @@ class InferenceEngine:
     # supervision
     # ------------------------------------------------------------------ #
     def _supervisor_loop(self) -> None:
-        """Heartbeat loop: respawn dead workers, retire wedged ones."""
+        """Heartbeat loop: respawn dead workers, retire wedged ones.
+
+        With the process backend the same heartbeat also sweeps the
+        process pool for workers that died *idle* (mid-job deaths are
+        handled inline by the dispatcher that was waiting on them).
+        """
         while not self._closed:
             time.sleep(self.supervise_interval)
             if self._closed:
                 return
+            if self._pool is not None:
+                replaced = self._pool.supervise()
+                if replaced:
+                    self.telemetry.counter(
+                        "engine.process_worker_respawns"
+                    ).inc(replaced)
             now = time.monotonic()
             with self._workers_lock:
                 if self._closed:
@@ -763,6 +819,11 @@ class InferenceEngine:
             workers = list(self._workers)
         for t in workers:
             t.join(timeout=30.0)
+        if self._pool is not None:
+            # After the dispatcher threads are gone nothing submits to the
+            # pool: reap every worker process and unlink the shared-memory
+            # arena so a drained engine leaves no /dev/shm residue.
+            self._pool.shutdown()
 
     @property
     def closed(self) -> bool:
@@ -799,6 +860,8 @@ class InferenceEngine:
         snap["registry"] = self.registry.stats()
         snap["breaker"] = self.breaker.snapshot()
         snap["batching"] = self._batching_stats()
+        if self._pool is not None:
+            snap["dataplane"] = self._pool.stats()
         if self.fault_injector is not None:
             snap["fault_injector"] = self.fault_injector.stats()
         config = self.config.to_dict()

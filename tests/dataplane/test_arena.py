@@ -1,0 +1,129 @@
+"""Shared-memory tile arena: layout, free list, generation tags, lifecycle."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dataplane import (
+    ArenaExhausted,
+    SharedTileArena,
+    StaleSlot,
+    attach_arena,
+    slot_layout,
+)
+
+
+def _shm_entries():
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("repro-dp-")}
+    except FileNotFoundError:  # pragma: no cover — non-tmpfs platform
+        return set()
+
+
+class TestSlotLayout:
+    def test_matches_planner_arithmetic(self):
+        # 4 bytes/px * max_batch * padded tile in; scale^2 more out.
+        in_b, out_b = slot_layout((32, 32), halo=4, scale=2, max_batch=8)
+        assert in_b == 4 * 8 * 40 * 40
+        assert out_b == in_b * 4
+
+    def test_edge_tiles_fit(self):
+        in_b, _ = slot_layout((96, 96), halo=10, scale=2, max_batch=1)
+        # A full-size padded tile is the worst case; any edge tile is smaller.
+        assert in_b >= 4 * (96 + 20) * (96 + 20)
+
+
+class TestAllocation:
+    def test_alloc_free_cycle(self):
+        with SharedTileArena(1024, 4096, slots=3) as arena:
+            slots = [arena.alloc(timeout=1.0) for _ in range(3)]
+            assert {s.index for s in slots} == {0, 1, 2}
+            assert arena.in_use() == 3
+            for s in slots:
+                arena.free(s)
+            assert arena.in_use() == 0
+
+    def test_exhaustion_raises(self):
+        with SharedTileArena(64, 64, slots=1) as arena:
+            arena.alloc(timeout=0.1)
+            with pytest.raises(ArenaExhausted):
+                arena.alloc(timeout=0.05)
+
+    def test_free_bumps_generation_and_stales_old_lease(self):
+        with SharedTileArena(64, 64, slots=1) as arena:
+            lease = arena.alloc(timeout=1.0)
+            arena.check(lease)  # live lease verifies
+            arena.free(lease)
+            with pytest.raises(StaleSlot):
+                arena.check(lease)
+            fresh = arena.alloc(timeout=1.0)
+            assert fresh.index == lease.index
+            assert fresh.generation == lease.generation + 1
+            arena.check(fresh)
+
+    def test_generation_stamp_lives_in_the_segment(self):
+        with SharedTileArena(64, 64, slots=2) as arena:
+            lease = arena.alloc(timeout=1.0)
+            arena.free(lease)
+            # A second mapping of the same segment sees the bumped stamp:
+            # workers verify against shared memory, not parent state.
+            other = attach_arena(arena.name, 64, 64, 2)
+            try:
+                assert other.generation(lease.index) == lease.generation + 1
+                with pytest.raises(StaleSlot):
+                    other.check(lease)
+            finally:
+                other.close()
+
+
+class TestViews:
+    def test_views_are_zero_copy_across_mappings(self):
+        in_b, out_b = slot_layout((8, 8), halo=0, scale=2, max_batch=2)
+        with SharedTileArena(in_b, out_b, slots=1) as arena:
+            other = attach_arena(arena.name, in_b, out_b, 1)
+            try:
+                slot = arena.alloc(timeout=1.0)
+                src = np.arange(2 * 8 * 8, dtype=np.float32).reshape(2, 8, 8, 1)
+                np.copyto(arena.in_view(slot, src.shape), src)
+                # The attached mapping reads the same bytes — no copy, no
+                # pickle, just the segment.
+                np.testing.assert_array_equal(
+                    other.in_view(slot, src.shape), src
+                )
+                out = np.full((2, 16, 16), 0.5, dtype=np.float32)
+                np.copyto(other.out_view(slot, out.shape), out)
+                np.testing.assert_array_equal(
+                    arena.out_view(slot, out.shape), out
+                )
+            finally:
+                other.close()
+
+    def test_oversized_view_is_rejected(self):
+        with SharedTileArena(256, 256, slots=1) as arena:
+            slot = arena.alloc(timeout=1.0)
+            with pytest.raises(ValueError, match="region holds"):
+                arena.in_view(slot, (1000,))
+
+
+class TestLifecycle:
+    def test_owner_close_unlinks_segment(self):
+        arena = SharedTileArena(64, 64, slots=1)
+        name = arena.name
+        assert name in _shm_entries()
+        arena.close()
+        assert name not in _shm_entries()
+        arena.close()  # idempotent
+
+    def test_attacher_close_does_not_unlink(self):
+        with SharedTileArena(64, 64, slots=1) as arena:
+            other = attach_arena(arena.name, 64, 64, 1)
+            other.close()
+            assert arena.name in _shm_entries()
+        assert arena.name not in _shm_entries()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedTileArena(0, 64, slots=1)
+        with pytest.raises(ValueError):
+            SharedTileArena(64, 64, slots=0)

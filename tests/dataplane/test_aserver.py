@@ -1,0 +1,174 @@
+"""AsyncSRServer speaks the exact wire contract of the threaded server.
+
+Byte-compatibility is asserted the strong way: the same request is sent
+to a threaded ``SRServer`` and an ``AsyncSRServer`` over identical
+engines, and the response *bodies* must match byte for byte (a client
+``X-Trace-Id`` pins the one random field).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import encode_netpbm
+from repro.dataplane import AsyncSRServer, make_async_server
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
+
+KEY = ModelKey(name="M3", scale=2)
+TRACE = "0123456789abcdef"
+
+
+def _engine():
+    cfg = EngineConfig(workers=1, tile=32, cache_size=0)
+    return InferenceEngine(ModelRegistry(), KEY, config=cfg)
+
+
+@pytest.fixture(scope="module")
+def sync_server():
+    srv = make_server(_engine(), "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def async_server():
+    with make_async_server(_engine(), "127.0.0.1", 0) as srv:
+        yield srv
+
+
+def _request(server, path, body=None, headers=None, method=None):
+    """Returns (status, headers, body) without raising on 4xx/5xx."""
+    host, port = server.server_address[:2]
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=body,
+        headers=headers or {}, method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+@pytest.fixture(scope="module")
+def image_body():
+    img = (np.random.default_rng(9).random((20, 20)) * 255).astype(np.uint8)
+    return encode_netpbm(img)
+
+
+class TestByteCompatibility:
+    def test_healthz_bodies_identical(self, sync_server, async_server):
+        s = _request(sync_server, "/v1/healthz")
+        a = _request(async_server, "/v1/healthz")
+        assert a[0] == s[0] == 200
+        assert a[2] == s[2]
+
+    def test_upscale_bodies_identical(self, sync_server, async_server,
+                                      image_body):
+        s = _request(sync_server, "/v1/upscale", body=image_body,
+                     headers={"X-Trace-Id": TRACE}, method="POST")
+        a = _request(async_server, "/v1/upscale", body=image_body,
+                     headers={"X-Trace-Id": TRACE}, method="POST")
+        assert a[0] == s[0] == 200
+        assert a[2] == s[2]  # pixel-for-pixel, byte-for-byte
+        for resp in (s, a):
+            assert resp[1]["X-Trace-Id"] == TRACE
+            assert resp[1]["X-Degraded"] == "false"
+            assert resp[1]["Content-Type"] == "application/octet-stream"
+
+    @pytest.mark.parametrize("path,method,body,headers", [
+        ("/v1/nope", None, None, {}),
+        ("/v1/upscale", "POST", b"", {}),            # 400 missing body
+        ("/v1/upscale", "POST", b"x", {"Content-Type": "application/json"}),
+    ], ids=["404", "400", "415"])
+    def test_error_bodies_identical(self, sync_server, async_server,
+                                    path, method, body, headers):
+        headers = dict(headers, **{"X-Trace-Id": TRACE})
+        s = _request(sync_server, path, body=body, headers=headers,
+                     method=method)
+        a = _request(async_server, path, body=body, headers=headers,
+                     method=method)
+        assert a[0] == s[0] >= 400
+        assert a[2] == s[2]
+        payload = json.loads(a[2])
+        assert set(payload["error"]) == {"code", "message", "trace_id"}
+
+    def test_payload_too_large_is_header_first(self, async_server,
+                                               image_body):
+        # Content-Length above the limit is refused without reading the
+        # body; the error carries the 413 schema.
+        host, port = async_server.server_address[:2]
+        status, headers, body = _request(
+            async_server, "/v1/upscale", body=b"P5 1 1 255 \x00",
+            headers={"X-Trace-Id": TRACE,
+                     "Content-Length": str(10 ** 9)},
+            method="POST",
+        )
+        assert status == 413
+        assert json.loads(body)["error"]["code"] == "payload_too_large"
+
+    def test_deprecated_paths_carry_successor_headers(self, sync_server,
+                                                      async_server):
+        s = _request(sync_server, "/healthz")
+        a = _request(async_server, "/healthz")
+        assert a[2] == s[2]
+        for resp in (s, a):
+            assert resp[1]["Deprecation"] == "true"
+            assert 'rel="successor-version"' in resp[1]["Link"]
+
+
+class TestAsyncServerBehaviour:
+    def test_stats_and_metrics_serve(self, async_server):
+        status, headers, body = _request(async_server, "/v1/stats")
+        assert status == 200
+        assert "config" in json.loads(body)
+        status, headers, body = _request(async_server, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"repro_" in body or b"engine" in body
+
+    def test_keep_alive_serves_sequential_requests(self, async_server):
+        import http.client
+
+        host, port = async_server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/healthz")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+        finally:
+            conn.close()
+
+    def test_eager_bind_and_close_is_idempotent(self):
+        srv = AsyncSRServer(_engine(), ("127.0.0.1", 0))
+        host, port = srv.server_address
+        assert port != 0  # resolved at construction, before serving
+        srv.close()
+        srv.close()
+
+    def test_process_backend_end_to_end(self, image_body):
+        cfg = EngineConfig(workers=1, tile=32, cache_size=0,
+                           worker_backend="process")
+        engine = InferenceEngine(ModelRegistry(), KEY, config=cfg)
+        with make_async_server(engine, "127.0.0.1", 0) as srv:
+            status, headers, body = _request(
+                srv, "/v1/upscale", body=image_body,
+                headers={"X-Trace-Id": TRACE}, method="POST",
+            )
+            assert status == 200
+            assert headers["X-Trace-Id"] == TRACE

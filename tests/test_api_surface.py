@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.nas",
     "repro.resilience",
     "repro.serve",
+    "repro.dataplane",
     "repro.zoo",
     "repro.cli",
     "repro.utils",
