@@ -1,5 +1,5 @@
 """Command-line interface: train / eval / upscale / collapse / compile /
-estimate / nas / serve / profile.
+estimate / nas / serve / profile / tune.
 
 Examples
 --------
@@ -36,6 +36,11 @@ Inspect what the graph compiler does to the collapsed net (see
 docs/compiler.md)::
 
     python -m repro.cli compile --model M5 --scale 2 --size 96 --dump-ir
+
+Time the GEMM kernels per conv shape and persist the per-host tuning
+cache that ``--gemm-backend auto`` consults (see docs/kernels.md)::
+
+    python -m repro.cli tune --model M5 --scale 2 --size 96
 """
 
 from __future__ import annotations
@@ -366,6 +371,47 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .compile import CaptureError, compile_model
+    from .kernels import save_cache, tune_model
+    from .nn import load_state
+    from .utils import format_table
+
+    model = _build_model(args.model, args.scale, args.seed)
+    if args.ckpt:
+        load_state(model, args.ckpt)
+    if hasattr(model, "collapse"):
+        model = model.collapse()
+    model.eval()
+    try:
+        compiled = compile_model(model)
+    except CaptureError as exc:
+        print(f"repro tune: error: cannot compile {args.model}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"timing GEMM kernels for {args.model} x{args.scale} "
+          f"@ {args.size}x{args.size} LR (best of {args.repeats}) ...")
+    rows = tune_model(
+        compiled, size=(args.size, args.size),
+        repeats=args.repeats, seed=args.seed,
+    )
+    table = [
+        [key, row["kernel"]]
+        + [f"{row['ms'][k]:.3f}" for k in ("blas", "blocked", "direct")]
+        for key, row in rows.items()
+    ]
+    print(format_table(
+        ["conv shape", "winner", "blas ms", "blocked ms", "direct ms"],
+        table, title="per-shape kernel winners",
+    ))
+    if args.no_save:
+        print("cache not written (--no-save)")
+    else:
+        path = save_cache(rows, path=args.cache or None)
+        print(f"wrote {len(rows)} shape row(s): {path}")
+    return 0
+
+
 def _install_shutdown_handlers() -> None:
     """Route SIGINT/SIGTERM through KeyboardInterrupt for a clean drain.
 
@@ -419,9 +465,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         compiled=not args.no_compile,
     )
     # Omitted => EngineConfig's default applies, which honours the
-    # REPRO_WORKER_BACKEND environment variable.
+    # REPRO_WORKER_BACKEND / REPRO_GEMM_BACKEND environment variables.
     if args.worker_backend:
         config_kwargs["worker_backend"] = args.worker_backend
+    if args.gemm_backend:
+        config_kwargs["gemm_backend"] = args.gemm_backend
     try:
         config = EngineConfig(**config_kwargs)
     except ValueError as exc:
@@ -535,6 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "or 'process' (spawned workers + shared-memory "
                         "tile arenas; escapes the GIL).  Default: the "
                         "REPRO_WORKER_BACKEND env var, else 'thread'")
+    p.add_argument("--gemm-backend", choices=("auto", "blas", "blocked"),
+                   default=None,
+                   help="GEMM kernel for compiled conv steps: 'blas' "
+                        "(vendor sgemm, per-sample in exact batches), "
+                        "'blocked' (fixed-order kernel; one stacked GEMM "
+                        "per coalesced batch, still bit-exact), or "
+                        "'auto' (per-shape winner from the 'repro tune' "
+                        "cache).  Default: the REPRO_GEMM_BACKEND env "
+                        "var, else 'blas'")
     p.add_argument("--frontend", choices=("sync", "async"), default="sync",
                    help="HTTP front-end: 'sync' (thread per connection) "
                         "or 'async' (single event loop; same /v1 wire "
@@ -618,6 +675,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", default="",
                    help="append one JSON line per op to this file")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "tune",
+        help="time blas/blocked/direct per conv shape; write the "
+             "per-host cache that --gemm-backend auto consults",
+    )
+    common(p)
+    p.add_argument("--ckpt", default="")
+    p.add_argument("--size", type=int, default=96,
+                   help="LR input height/width to time at (default 96)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per kernel; best-of wins")
+    p.add_argument("--cache", default="",
+                   help="cache file to write (default: "
+                        "$REPRO_TUNING_CACHE, else "
+                        "~/.cache/repro/kernel_tuning.json)")
+    p.add_argument("--no-save", action="store_true",
+                   help="print the timings without writing the cache")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("nas", help="run a small hardware-aware DNAS")
     p.add_argument("--scale", type=int, default=2, choices=(2, 4))

@@ -2,12 +2,12 @@
 
 Same API, different concurrency model.  :class:`AsyncSRServer` serves the
 exact wire contract of :class:`repro.serve.SRServer` — the ``/v1`` route
-table, the unversioned paths with their ``Deprecation``/``Link``
-headers, the one-shape JSON error schema, header-first 415/413
-rejection, and the ``X-Trace-Id``/``X-Degraded`` response headers are
-all imported from (or pinned against) :mod:`repro.serve.http`, not
-re-invented — but connections are multiplexed on a single event loop
-instead of one thread per socket.  A blocking thread-per-connection
+table, the 308 redirects that retired the unversioned paths, the
+one-shape JSON error schema, header-first 415/413 rejection, and the
+``X-Trace-Id``/``X-Degraded`` response headers are all imported from (or
+pinned against) :mod:`repro.serve.http`, not re-invented — but
+connections are multiplexed on a single event loop instead of one
+thread per socket.  A blocking thread-per-connection
 front-end wastes a thread (and its GIL churn) per idle keep-alive
 connection; the event loop holds thousands of idle connections for free
 and hands actual inference to the engine via ``run_in_executor``, where
@@ -61,29 +61,27 @@ from ..serve.http import (
 __all__ = ["AsyncSRServer", "make_async_server"]
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    413: "Request Entity Too Large", 415: "Unsupported Media Type",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
+    200: "OK", 308: "Permanent Redirect", 400: "Bad Request",
+    404: "Not Found", 413: "Request Entity Too Large",
+    415: "Unsupported Media Type", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 _SERVER_ID = "repro-serve/1.0"
 
 
-def _resolve_route(path: str) -> Tuple[Optional[str], Dict[str, str]]:
-    """Same resolution as ``SRRequestHandler._route`` (path → route plus
-    deprecation headers for unversioned paths)."""
+def _resolve_route(path: str) -> Tuple[Optional[str], Optional[str]]:
+    """Same resolution as ``SRRequestHandler._route``: ``(route,
+    redirect_location)`` — a legacy unversioned path resolves to the
+    ``/v1`` location it 308-redirects to, not to a servable route."""
     path = path.split("?", 1)[0]
     prefix = f"/{API_VERSION}"
     if path.startswith(prefix + "/"):
         route = path[len(prefix):]
-        return (route, {}) if route in _ROUTES else (None, {})
+        return (route, None) if route in _ROUTES else (None, None)
     if path in _ROUTES:
-        return path, {
-            "Deprecation": "true",
-            "Link": f'<{prefix}{path}>; rel="successor-version"',
-        }
-    return None, {}
+        return None, prefix + path
+    return None, None
 
 
 class _Response:
@@ -106,15 +104,21 @@ class _Response:
             f"HTTP/1.1 {self.code} {reason}",
             f"Server: {_SERVER_ID}",
             f"Date: {formatdate(usegmt=True)}",
-            f"Content-Type: {self.ctype}",
-            f"Content-Length: {len(self.body)}",
         ]
+        if self.ctype is not None:  # redirects have no body, no type
+            lines.append(f"Content-Type: {self.ctype}")
+        lines.append(f"Content-Length: {len(self.body)}")
         for name, value in self.headers.items():
             lines.append(f"{name}: {value}")
         if self.close or not keep_alive:
             lines.append("Connection: close")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         return head + self.body
+
+
+def _redirect_response(location: str, close: bool = False) -> _Response:
+    """308 Permanent Redirect to the versioned route; empty body."""
+    return _Response(308, b"", None, {"Location": location}, close)
 
 
 def _json_response(code: int, obj: dict,
@@ -316,18 +320,22 @@ class AsyncSRServer:
     async def _dispatch(self, method: str, path: str,
                         headers: Dict[str, str],
                         reader: asyncio.StreamReader) -> _Response:
-        route, extra = _resolve_route(path)
+        route, redirect = _resolve_route(path)
+        if redirect is not None:
+            # A redirected POST's body is never read: close the
+            # connection so the unread bytes cannot corrupt a keep-alive
+            # stream (same semantics as the threaded front-end).
+            return _redirect_response(redirect, close=(method == "POST"))
         if method == "GET" and route in ("/healthz", "/stats", "/metrics"):
-            return await self._do_get(route, extra)
+            return await self._do_get(route)
         if method == "POST" and route == "/upscale":
-            return await self._do_upscale(headers, extra, reader)
+            return await self._do_upscale(headers, reader)
         return _error_response(
             404, "not_found", f"unknown path {path!r}",
             trace_id=self._client_trace_id(headers),
         )
 
-    async def _do_get(self, route: str,
-                      extra: Dict[str, str]) -> _Response:
+    async def _do_get(self, route: str) -> _Response:
         loop = asyncio.get_event_loop()
         if route == "/healthz":
             key = self.engine.key
@@ -338,10 +346,10 @@ class AsyncSRServer:
                 "scale": key.scale,
                 "precision": key.precision,
                 "api_version": API_VERSION,
-            }, headers=extra)
+            })
         if route == "/stats":
             stats = await loop.run_in_executor(None, self.engine.stats)
-            return _json_response(200, stats, headers=extra)
+            return _json_response(200, stats)
         text = await loop.run_in_executor(
             None,
             lambda: render_prometheus(
@@ -352,11 +360,9 @@ class AsyncSRServer:
         )
         return _Response(
             200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
-            headers=extra,
         )
 
     async def _do_upscale(self, headers: Dict[str, str],
-                          extra: Dict[str, str],
                           reader: asyncio.StreamReader) -> _Response:
         # Header-first validation, same order and same close-connection
         # semantics as the threaded front-end: an unacceptable upload is
@@ -371,7 +377,7 @@ class AsyncSRServer:
                 415, "unsupported_media_type",
                 f"unsupported Content-Type {ctype!r}; send a netpbm image "
                 "as image/* or application/octet-stream",
-                trace_id=trace_id, headers=extra, close=True,
+                trace_id=trace_id, close=True,
             )
         try:
             length = int(headers.get("content-length", "0"))
@@ -382,12 +388,12 @@ class AsyncSRServer:
                 413, "payload_too_large",
                 f"body of {length} bytes exceeds the "
                 f"{self.max_body_bytes}-byte limit",
-                trace_id=trace_id, headers=extra, close=True,
+                trace_id=trace_id, close=True,
             )
         if length <= 0:
             return _error_response(
                 400, "bad_request", "missing or invalid body",
-                trace_id=trace_id, headers=extra,
+                trace_id=trace_id,
             )
         body = await reader.readexactly(length)
         try:
@@ -395,7 +401,7 @@ class AsyncSRServer:
         except ValueError as exc:
             return _error_response(
                 400, "bad_request", f"bad netpbm payload: {exc}",
-                trace_id=trace_id, headers=extra,
+                trace_id=trace_id,
             )
         loop = asyncio.get_event_loop()
         try:
@@ -408,22 +414,23 @@ class AsyncSRServer:
         except (EngineOverloaded, EngineClosed) as exc:
             return _error_response(
                 503, "unavailable", str(exc),
-                trace_id=trace_id, headers=extra,
+                trace_id=trace_id,
             )
         except RequestTimeout as exc:
             return _error_response(
                 504, "deadline_exceeded", str(exc),
-                trace_id=trace_id, headers=extra,
+                trace_id=trace_id,
             )
         except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
             return _error_response(
                 500, "internal", f"inference failed: {exc}",
-                trace_id=trace_id, headers=extra,
+                trace_id=trace_id,
             )
         payload = encode_netpbm(result.image)
-        out = dict(extra)
-        out["X-Degraded"] = "true" if result.degraded else "false"
-        out["X-Trace-Id"] = result.trace_id
+        out = {
+            "X-Degraded": "true" if result.degraded else "false",
+            "X-Trace-Id": result.trace_id,
+        }
         return _Response(
             200, payload, "application/octet-stream", headers=out
         )

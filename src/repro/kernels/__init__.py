@@ -1,0 +1,39 @@
+"""Deterministic GEMM/conv kernels and their per-shape autotuner.
+
+The paper's deployment story (§3.3) is that collapsed SESR inference is
+a handful of big GEMMs; this package decides *which* GEMM each conv
+shape runs as.  :mod:`repro.kernels.blocked` provides the
+fixed-reduction-order f32 matmul whose m-invariance lets the serving
+engine coalesce a cross-request batch into ONE stacked GEMM per conv
+while staying bit-identical to single-sample serving;
+:mod:`repro.kernels.tune` times {blas, blocked, direct} per conv shape
+and persists a per-host cache that ``EngineConfig.gemm_backend="auto"``
+consults.  See ``docs/kernels.md``.
+"""
+
+from .blocked import KC, MC, blocked_matmul, blocked_matmul_t
+from .tune import (
+    GEMM_KERNELS,
+    cache_path,
+    load_cache,
+    save_cache,
+    select_kernel,
+    shape_key,
+    time_conv_kernels,
+    tune_model,
+)
+
+__all__ = [
+    "KC",
+    "MC",
+    "blocked_matmul",
+    "blocked_matmul_t",
+    "GEMM_KERNELS",
+    "cache_path",
+    "load_cache",
+    "save_cache",
+    "select_kernel",
+    "shape_key",
+    "time_conv_kernels",
+    "tune_model",
+]

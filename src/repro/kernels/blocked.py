@@ -1,0 +1,129 @@
+"""Cache-blocked f32 matmul with a reduction order that depends on k only.
+
+Why this kernel exists
+----------------------
+OpenBLAS (and every high-performance sgemm) picks its micro-kernel and
+panel blocking from *all three* GEMM dimensions.  Change the row count
+``m`` and the k-summation of each output element may be re-associated
+differently — same math, different float rounding.  That is the one
+obstacle between the serving engine's cross-request batching and a true
+single stacked GEMM: stacking N tiles multiplies ``m`` by N, so
+``np.matmul`` on the stack is *not* bit-identical per sample to the
+single-tile call (pinned by ``tests/compile/test_exact_batch.py``).
+
+:func:`blocked_matmul` removes the obstacle by fixing the reduction
+order as a function of **k alone**:
+
+* Each output element is computed as an independent sequential dot
+  product over k (``np.einsum('mk,nk->mn', ...)`` — einsum's
+  sum-of-products loop accumulates in ascending k order and never
+  re-associates across rows or columns, unlike a blocked sgemm).
+* When k exceeds :data:`KC`, the dot is evaluated in fixed ``KC``-sized
+  chunks, ascending, and the partial sums are added in that same fixed
+  order.  Chunk boundaries are a function of k only.
+* Tiling over m (:data:`MC` rows at a time, for cache residency) is free:
+  it changes *which* elements a call computes, never *how* one element's
+  dot is ordered.
+
+Hence ``blocked_matmul(A_stacked, B)[i*r:(i+1)*r] ==
+blocked_matmul(A_i, B)`` bitwise, for any stacking — the m-invariance
+property the exact-batch executor builds on
+(``tests/kernels/test_blocked.py`` fuzzes it with hypothesis).
+
+The B operand is consumed transposed (``bt`` of shape ``(n, k)``,
+C-contiguous) so both einsum operands walk k along their contiguous
+axis; :func:`blocked_matmul` transposes once per call, and the compiled
+executor pre-transposes each conv weight once at kernel-selection time
+and calls :func:`blocked_matmul_t` directly.
+
+This trades peak FLOPs for determinism — typically 2-4x slower than a
+vendor sgemm on large shapes — which is exactly the trade the per-shape
+autotuner (:mod:`repro.kernels.tune`) arbitrates: it only selects the
+blocked kernel where the single-stacked-GEMM dispatch win pays for the
+arithmetic, and ``EngineConfig.gemm_backend`` lets callers force either
+side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MC", "KC", "blocked_matmul", "blocked_matmul_t"]
+
+#: Row-tile size: one A tile (MC x KC f32) plus the B panel stays L2-resident.
+MC = 192
+
+#: Fixed k-chunk size.  Part of the kernel's *semantics*, not just a tuning
+#: knob: the reduction order is "ascending KC-chunks, sequential within a
+#: chunk", so changing KC changes output bits (deterministically).
+KC = 512
+
+
+def _check_operands(a: np.ndarray, bt: np.ndarray,
+                    out: Optional[np.ndarray], n_rows_b: int) -> None:
+    if a.ndim != 2 or bt.ndim != 2:
+        raise ValueError(
+            f"expected 2-D operands, got {a.shape} and {bt.shape}"
+        )
+    if a.dtype != np.float32 or bt.dtype != np.float32:
+        raise TypeError(
+            f"blocked matmul is float32-only, got {a.dtype} and {bt.dtype}"
+        )
+    if out is not None:
+        if out.shape != (a.shape[0], n_rows_b):
+            raise ValueError(
+                f"out has shape {out.shape}, expected "
+                f"{(a.shape[0], n_rows_b)}"
+            )
+        if out.dtype != np.float32:
+            raise TypeError(f"out must be float32, got {out.dtype}")
+
+
+def blocked_matmul_t(a: np.ndarray, bt: np.ndarray,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``a @ bt.T`` with the fixed k-only reduction order.
+
+    ``a`` is ``(m, k)``, ``bt`` is the **transposed** right operand
+    ``(n, k)`` — pass it C-contiguous (the executor pre-transposes conv
+    weights once) so the contraction axis is contiguous for both
+    operands.  ``out`` (``(m, n)`` float32) is written in place when
+    given.  The result for any row slice of ``a`` is bit-identical to a
+    separate call on that slice.
+    """
+    _check_operands(a, bt, out, bt.shape[0])
+    m, k = a.shape
+    n, kb = bt.shape
+    if kb != k:
+        raise ValueError(
+            f"inner dimensions differ: a is {a.shape}, bt is {bt.shape}"
+        )
+    if out is None:
+        out = np.empty((m, n), dtype=np.float32)
+    for m0 in range(0, m, MC):
+        am = a[m0:m0 + MC]
+        om = out[m0:m0 + MC]
+        # First chunk writes, later chunks accumulate in ascending k
+        # order — the per-element sum is ((chunk0 + chunk1) + ...), a
+        # function of k and KC only.
+        np.einsum("mk,nk->mn", am[:, :KC], bt[:, :KC], out=om)
+        for k0 in range(KC, k, KC):
+            om += np.einsum(
+                "mk,nk->mn", am[:, k0:k0 + KC], bt[:, k0:k0 + KC]
+            )
+    return out
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``a @ b`` (f32, 2-D) with the fixed k-only reduction order.
+
+    Convenience wrapper over :func:`blocked_matmul_t`: transposes ``b``
+    to contiguous ``(n, k)`` once per call.  Callers that reuse one
+    right operand (the executor's conv weights) should pre-transpose and
+    call :func:`blocked_matmul_t` directly.
+    """
+    if b.ndim != 2:
+        raise ValueError(f"expected a 2-D right operand, got {b.shape}")
+    return blocked_matmul_t(a, np.ascontiguousarray(b.T), out=out)

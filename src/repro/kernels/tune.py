@@ -1,0 +1,276 @@
+"""Per-shape kernel autotuner and its per-host tuning cache.
+
+A compiled SESR plan is a handful of conv shapes — ``(kh, kw, cin,
+cout, groups)`` tuples — each of which can run three ways inside
+:class:`~repro.compile.executor.CompiledModel`:
+
+``blas``
+    im2col + vendor sgemm, per-sample in exact-batch mode (the default;
+    fastest arithmetic, but a coalesced batch costs one GEMM *per
+    sample*).
+``blocked``
+    im2col + :func:`~repro.kernels.blocked_matmul_t` — slower arithmetic,
+    but m-invariant, so a coalesced batch is ONE stacked GEMM and still
+    bit-identical per sample.
+``direct``
+    no im2col at all: one small ``(rows, cin) @ (cin, cout)`` GEMM per
+    kernel tap, accumulated in fixed tap order (wins when the patch
+    matrix would dwarf the input, e.g. large-k shapes at small channel
+    counts).
+
+Which one wins is a property of the *host* (BLAS build, cache sizes,
+core count) and the *shape* — the same reason ``repro.hw`` calibrates
+its NPU constants against published anchor rows instead of hard-coding
+them.  :func:`tune_model` measures all three per shape;
+:func:`save_cache`/:func:`load_cache` persist the measurements as JSON
+under ``~/.cache/repro/`` keyed by shape (one row per anchor shape,
+mirroring ``repro.hw.calibrate.anchor_rows``); ``repro tune`` is the
+CLI front door, and ``EngineConfig.gemm_backend="auto"`` consults the
+cache at serve time (missing/corrupt cache degrades to ``blas``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .blocked import blocked_matmul_t
+
+__all__ = [
+    "GEMM_KERNELS",
+    "cache_path",
+    "load_cache",
+    "save_cache",
+    "select_kernel",
+    "shape_key",
+    "time_conv_kernels",
+    "tune_model",
+]
+
+#: Kernel implementations the executor can run one conv step on.
+GEMM_KERNELS = ("blas", "blocked", "direct")
+
+#: Tuning-cache schema version; bump on incompatible format changes.
+CACHE_VERSION = 1
+
+
+def shape_key(kh: int, kw: int, cin: int, cout: int,
+              groups: int = 1) -> str:
+    """Canonical cache key for one conv shape (host-independent)."""
+    return f"{kh}x{kw}:{cin}->{cout}:g{groups}"
+
+
+# --------------------------------------------------------------------- #
+# cache persistence
+# --------------------------------------------------------------------- #
+def cache_path() -> str:
+    """Where the per-host tuning cache lives.
+
+    ``REPRO_TUNING_CACHE`` overrides (tests, CI artifact staging);
+    otherwise ``~/.cache/repro/kernel_tuning.json``.
+    """
+    override = os.environ.get("REPRO_TUNING_CACHE", "")
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "kernel_tuning.json"
+    )
+
+
+def load_cache(path: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+    """Shape-key → measurement rows, or ``{}``.
+
+    Tolerant by design: a missing file, unreadable bytes, malformed
+    JSON, a wrong schema version, or rows of the wrong shape all yield
+    ``{}`` — a corrupt cache must never break serving, it just means
+    ``auto`` falls back to ``blas`` until ``repro tune`` rewrites it.
+    """
+    path = path or cache_path()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+        return {}
+    shapes = data.get("shapes")
+    if not isinstance(shapes, dict):
+        return {}
+    out: Dict[str, Dict[str, Any]] = {}
+    for key, row in shapes.items():
+        if (isinstance(row, dict)
+                and row.get("kernel") in GEMM_KERNELS):
+            out[key] = row
+    return out
+
+
+def save_cache(shapes: Dict[str, Dict[str, Any]],
+               path: Optional[str] = None) -> str:
+    """Atomically write the cache (merged over any loadable prior rows).
+
+    Returns the path written.  Atomic (write-temp + rename) so a
+    concurrent reader never sees a torn file — the same reason the
+    executor tolerates corruption on load.
+    """
+    path = path or cache_path()
+    merged = load_cache(path)
+    merged.update(shapes)
+    payload = {
+        "version": CACHE_VERSION,
+        "host": {
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "shapes": merged,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def select_kernel(backend: str, key: str,
+                  tuning: Optional[Dict[str, Dict[str, Any]]] = None
+                  ) -> Tuple[str, str]:
+    """Resolve one conv shape to ``(kernel, source)``.
+
+    ``blas``/``blocked`` backends force their kernel everywhere
+    (``source="forced"``); ``auto`` consults the tuning rows
+    (``source="tuned"``) and degrades to ``blas`` for shapes the cache
+    does not cover (``source="default"``).
+    """
+    if backend in ("blas", "blocked"):
+        return backend, "forced"
+    if backend != "auto":
+        raise ValueError(
+            f"gemm backend must be one of ('auto', 'blas', 'blocked'), "
+            f"got {backend!r}"
+        )
+    row = (tuning or {}).get(key)
+    if row is not None and row.get("kernel") in GEMM_KERNELS:
+        return row["kernel"], "tuned"
+    return "blas", "default"
+
+
+# --------------------------------------------------------------------- #
+# measurement
+# --------------------------------------------------------------------- #
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock in ms (min rejects scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def time_conv_kernels(kh: int, kw: int, cin: int, cout: int,
+                      groups: int = 1, size: Tuple[int, int] = (96, 96),
+                      repeats: int = 3, seed: int = 0
+                      ) -> Dict[str, float]:
+    """Per-kernel ms for one conv shape on synthetic data (n=1).
+
+    Replays each executor inner loop faithfully: blas and blocked pay
+    the im2col copy plus their GEMM; direct pays the per-tap slice
+    copies plus ``kh*kw`` small GEMMs.  Weights/activations are random
+    — timing is shape-dependent, not value-dependent.
+    """
+    from ..nn.im2col import extract_patches
+
+    h, w = size
+    gc_in, gc_out = cin // groups, cout // groups
+    rng = np.random.default_rng(seed)
+    # Pre-padded input for one group (groups time identically per group;
+    # scale the per-group measurement).
+    xp = rng.random(
+        (1, h + kh - 1, w + kw - 1, gc_in)
+    ).astype(np.float32)
+    wmat = rng.random((kh * kw * gc_in, gc_out)).astype(np.float32)
+    wmat_t = np.ascontiguousarray(wmat.T)
+    wtaps = [
+        np.ascontiguousarray(
+            wmat.reshape(kh, kw, gc_in, gc_out)[i, j]
+        )
+        for i in range(kh) for j in range(kw)
+    ]
+    m, k = h * w, kh * kw * gc_in
+    colsbuf = np.empty((m, k), dtype=np.float32)
+    out = np.empty((m, gc_out), dtype=np.float32)
+    tap_tmp = np.empty((m, gc_out), dtype=np.float32)
+
+    def im2col() -> np.ndarray:
+        patches = extract_patches(xp, (kh, kw), (1, 1))
+        np.copyto(colsbuf.reshape(1, h, w, kh, kw, gc_in), patches)
+        return colsbuf
+
+    def run_blas() -> None:
+        np.matmul(im2col(), wmat, out=out)
+
+    def run_blocked() -> None:
+        blocked_matmul_t(im2col(), wmat_t, out=out)
+
+    def run_direct() -> None:
+        first = True
+        for idx in range(kh * kw):
+            i, j = divmod(idx, kw)
+            xs = xp[0, i:i + h, j:j + w, :].reshape(m, gc_in)
+            if first:
+                np.matmul(xs, wtaps[idx], out=out)
+                first = False
+            else:
+                np.matmul(xs, wtaps[idx], out=tap_tmp)
+                np.add(out, tap_tmp, out=out)
+
+    return {
+        "blas": groups * _time(run_blas, repeats),
+        "blocked": groups * _time(run_blocked, repeats),
+        "direct": groups * _time(run_direct, repeats),
+    }
+
+
+def tune_model(model, size: Tuple[int, int] = (96, 96),
+               repeats: int = 3, seed: int = 0
+               ) -> Dict[str, Dict[str, Any]]:
+    """Measure every distinct conv shape of a compiled model.
+
+    ``model`` is anything exposing ``conv_shapes()`` (a
+    :class:`~repro.compile.executor.CompiledModel`).  Returns cache rows
+    keyed by :func:`shape_key` — feed them to :func:`save_cache` and the
+    ``auto`` backend picks the measured winner per shape.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    for kh, kw, cin, cout, groups in model.conv_shapes():
+        key = shape_key(kh, kw, cin, cout, groups)
+        if key in rows:
+            continue
+        ms = time_conv_kernels(
+            kh, kw, cin, cout, groups=groups, size=size,
+            repeats=repeats, seed=seed,
+        )
+        rows[key] = {
+            "kernel": min(ms, key=lambda name: ms[name]),
+            "ms": {name: round(v, 4) for name, v in ms.items()},
+            "size": list(size),
+        }
+    return rows

@@ -83,6 +83,16 @@ def conv2d(
         Grouped convolution (used by lightweight-SISR baselines such as
         CARN variants); input and output channels are split into ``groups``
         independent convolutions.
+
+    Notes
+    -----
+    The forward is im2col + one ``np.matmul`` (BLAS sgemm).  This is the
+    *training-time* path; the inference executor
+    (:mod:`repro.compile.executor`) runs the same contraction through a
+    selectable kernel — ``blas``, the deterministic m-invariant
+    ``blocked`` kernel, or tap-loop ``direct`` (:mod:`repro.kernels`) —
+    because BLAS output bits depend on the GEMM row count, which matters
+    once the serving engine stacks samples (``docs/kernels.md``).
     """
     x, w = as_tensor(x), as_tensor(w)
     if groups > 1:

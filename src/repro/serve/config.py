@@ -8,8 +8,9 @@ redesigned public API: a frozen, validated dataclass that callers build
 once and hand to ``InferenceEngine(registry, key, config=...)`` — the CLI
 builds one from its flags and prints it at startup, tests build variants
 with :meth:`EngineConfig.replace`, and ``/stats``/``/v1/stats`` echo it
-back.  The old kwarg-soup constructor still works through a deprecation
-shim that warns once per process (see ``engine.py``).
+back.  ``config=`` is the *only* constructor path: the historical
+kwarg-soup shim rode through two releases as a DeprecationWarning and
+is gone.
 
 Stateful collaborators (an injected :class:`~repro.serve.Telemetry`, a
 pre-built :class:`~repro.resilience.CircuitBreaker`, a chaos
@@ -31,6 +32,9 @@ __all__ = ["EngineConfig"]
 #: worker execution backends an engine can run tiles on.
 WORKER_BACKENDS = ("thread", "process")
 
+#: GEMM backends the compiled executor can run conv steps on.
+GEMM_BACKENDS = ("auto", "blas", "blocked")
+
 
 def _default_backend() -> str:
     """Library default is ``thread``; ``REPRO_WORKER_BACKEND`` overrides.
@@ -40,6 +44,16 @@ def _default_backend() -> str:
     An unknown value fails at construction like any other bad config.
     """
     return os.environ.get("REPRO_WORKER_BACKEND", "thread")
+
+
+def _default_gemm_backend() -> str:
+    """Library default is ``blas``; ``REPRO_GEMM_BACKEND`` overrides.
+
+    The env var exists for the same replay reason as
+    ``REPRO_WORKER_BACKEND``: CI runs the batching bench under both
+    ``blas`` and ``blocked`` without modifying the suite.
+    """
+    return os.environ.get("REPRO_GEMM_BACKEND", "blas")
 
 
 @dataclass(frozen=True)
@@ -99,6 +113,21 @@ class EngineConfig:
         unmodified suite can run against either backend.  Process
         workers rebuild the model from a pickled plan/weights handoff,
         so the model (compiled or eager) must pickle — the zoo's do.
+    gemm_backend:
+        Which GEMM kernel the compiled executor runs conv steps on (see
+        :mod:`repro.kernels` and ``docs/kernels.md``).  ``"blas"`` (the
+        default) is the vendor sgemm — fastest arithmetic, but a
+        coalesced cross-request batch must issue the GEMM once *per
+        sample* to stay bit-exact.  ``"blocked"`` is the
+        fixed-reduction-order blocked matmul: m-invariant, so a
+        coalesced batch is ONE stacked GEMM per conv and still
+        bit-identical to single-sample serving.  ``"auto"`` picks the
+        measured winner per conv shape from the ``repro tune`` cache
+        (missing shapes degrade to ``blas``).  The default honours
+        ``REPRO_GEMM_BACKEND``.  Engines sharing one registry-cached
+        compiled model apply the backend at construction — concurrent
+        engines over the same key should agree on it.  Ignored on the
+        eager (non-compiled) fallback path.
     """
 
     workers: int = 4
@@ -119,6 +148,7 @@ class EngineConfig:
     wedge_timeout: Optional[float] = None
     compiled: bool = True
     worker_backend: str = field(default_factory=_default_backend)
+    gemm_backend: str = field(default_factory=_default_gemm_backend)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -160,6 +190,11 @@ class EngineConfig:
                 f"worker_backend must be one of {WORKER_BACKENDS}, "
                 f"got {self.worker_backend!r}"
             )
+        if self.gemm_backend not in GEMM_BACKENDS:
+            raise ValueError(
+                f"gemm_backend must be one of {GEMM_BACKENDS}, "
+                f"got {self.gemm_backend!r}"
+            )
 
     # ------------------------------------------------------------------ #
     def replace(self, **changes) -> "EngineConfig":
@@ -187,7 +222,8 @@ class EngineConfig:
             f"  workers {self.workers} ({self.worker_backend}), "
             f"tile {th}x{tw}, halo "
             f"{'auto' if self.halo is None else self.halo}, "
-            f"compiled {'on' if self.compiled else 'off'}",
+            f"compiled {'on' if self.compiled else 'off'}, "
+            f"gemm {self.gemm_backend}",
             f"  batching: cross-request {batching}; "
             f"microbatch {'on' if self.microbatch else 'off'}",
             f"  admission: {self.max_pending} slots, timeout "

@@ -12,8 +12,11 @@ across processes.
 
 Configuration is one frozen :class:`~repro.serve.EngineConfig` value —
 ``InferenceEngine(registry, key, config=EngineConfig(...))`` is the
-primary signature; the historical kwarg soup still works through a
-deprecation shim that warns once per process.
+*only* constructor signature (the historical kwarg-soup shim warned for
+two releases and is gone; stray keywords now raise :class:`TypeError`).
+``config.gemm_backend`` is applied to the compiled model at construction
+(:meth:`repro.compile.CompiledModel.set_gemm_backend`), and the resolved
+per-conv kernel selection is echoed under ``stats()["kernels"]``.
 
 Execution modes per tile job:
 
@@ -68,7 +71,6 @@ from __future__ import annotations
 import random
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -223,33 +225,6 @@ class _Request:
             self.cancelled = True
 
 
-#: legacy constructor kwargs the deprecation shim maps onto EngineConfig.
-_LEGACY_CONFIG_KWARGS = (
-    "workers", "tile", "halo", "microbatch", "max_batch", "cache_size",
-    "max_pending", "default_timeout", "retry", "degraded_mode", "supervise",
-    "supervise_interval", "wedge_timeout", "compiled", "batch_window_ms",
-)
-
-_legacy_kwargs_warned = False
-
-
-def _warn_legacy_kwargs(names: Sequence[str]) -> None:
-    """DeprecationWarning for kwarg-style construction — once per process."""
-    global _legacy_kwargs_warned
-    if _legacy_kwargs_warned:
-        return
-    _legacy_kwargs_warned = True
-    warnings.warn(
-        "InferenceEngine(..., {}) keyword configuration is deprecated; "
-        "build an EngineConfig and pass "
-        "InferenceEngine(registry, key, config=...) instead".format(
-            ", ".join(f"{n}=..." for n in names)
-        ),
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 class InferenceEngine:
     """Scheduler → worker pool → stitched response, with cache + telemetry.
 
@@ -268,11 +243,11 @@ class InferenceEngine:
         metrics registry, a pre-built circuit breaker (default: one built
         from ``config.breaker_threshold``/``config.breaker_cooldown``),
         and the chaos-testing fault hook.
-    **legacy_kwargs:
-        The pre-``EngineConfig`` keyword surface (``workers=``, ``tile=``,
-        ``retry=``, ...).  Still accepted — mapped onto a config by a shim
-        that emits one :class:`DeprecationWarning` per process.  Mutually
-        exclusive with ``config``.
+
+    The pre-``EngineConfig`` keyword surface (``workers=``, ``tile=``,
+    ``retry=``, ...) was removed after a two-release deprecation window;
+    passing those keywords now raises :class:`TypeError` like any other
+    unknown argument.
     """
 
     def __init__(
@@ -284,21 +259,7 @@ class InferenceEngine:
         telemetry: Optional[Telemetry] = None,
         breaker: Optional[CircuitBreaker] = None,
         fault_injector: Optional[FaultInjector] = None,
-        **legacy_kwargs,
     ) -> None:
-        if legacy_kwargs:
-            unknown = set(legacy_kwargs) - set(_LEGACY_CONFIG_KWARGS)
-            if unknown:
-                raise TypeError(
-                    f"unknown InferenceEngine arguments: {sorted(unknown)}"
-                )
-            if config is not None:
-                raise TypeError(
-                    "pass an EngineConfig or legacy keyword arguments, "
-                    "not both"
-                )
-            _warn_legacy_kwargs(sorted(legacy_kwargs))
-            config = EngineConfig(**legacy_kwargs)
         self.config = config = config or EngineConfig()
 
         self.registry = registry
@@ -314,6 +275,10 @@ class InferenceEngine:
             try:
                 self.model = registry.get_compiled(key)
                 self.compiled = True
+                # The registry shares one CompiledModel per key across
+                # engines, so the backend applied last wins — concurrent
+                # engines over one key should agree (see EngineConfig).
+                self.model.set_gemm_backend(config.gemm_backend)
             except CaptureError:
                 self.model = registry.get(key)
                 self.compile_fallback = True
@@ -860,6 +825,12 @@ class InferenceEngine:
         snap["registry"] = self.registry.stats()
         snap["breaker"] = self.breaker.snapshot()
         snap["batching"] = self._batching_stats()
+        # The resolved per-conv kernel selection (repro.kernels): backend
+        # plus one {node, shape, kernel, source} row per conv.  getattr —
+        # tests swap self.model for duck-typed doubles.
+        kernel_plan = getattr(self.model, "kernel_plan", None)
+        if self.compiled and kernel_plan is not None:
+            snap["kernels"] = kernel_plan.stats()
         if self._pool is not None:
             snap["dataplane"] = self._pool.stats()
         if self.fault_injector is not None:

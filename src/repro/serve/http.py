@@ -20,11 +20,16 @@ Endpoints (v1 — the documented API)
     (see ``docs/observability.md``).
 
 The original unversioned paths (``/upscale``, ``/healthz``, ``/stats``,
-``/metrics``) keep working and behave identically, but every response on
-them carries ``Deprecation: true`` plus a ``Link: </v1/...>;
-rel="successor-version"`` header pointing at the route that replaces
-them.  New clients should speak ``/v1``; the prefix is what lets the
-wire format evolve again without breaking them.
+``/metrics``) no longer serve content: they answer **308 Permanent
+Redirect** with a ``Location: /v1/...`` header and an empty body.  (They
+spent a deprecation cycle serving dual-stack with ``Deprecation: true``
++ ``Link: rel="successor-version"`` headers first.)  308 — not 301/302 —
+because it forbids the method rewrite: a redirected ``POST /upscale``
+must be retried as ``POST /v1/upscale`` with the same body.  A redirect
+response to a POST closes the connection, since the unread request body
+would corrupt a keep-alive stream.  New clients should speak ``/v1``;
+the prefix is what lets the wire format evolve again without breaking
+them.
 
 Errors
 ------
@@ -66,7 +71,7 @@ from __future__ import annotations
 import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -154,29 +159,29 @@ class SRRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
-    def _route(self) -> Tuple[Optional[str], Dict[str, str]]:
-        """Resolve ``self.path`` to a canonical route.
+    def _route(self) -> Tuple[Optional[str], Optional[str]]:
+        """Resolve ``self.path`` to ``(route, redirect_location)``.
 
-        Returns ``(route, extra response headers)`` — the headers carry
-        the deprecation signal when the client used an unversioned path —
-        or ``(None, {})`` when the path is unknown.
+        Exactly one of the pair is set: a versioned path yields its
+        canonical route; a legacy unversioned path yields the ``/v1``
+        location to 308-redirect to; an unknown path yields neither
+        (404).
         """
         path = self.path.split("?", 1)[0]
         prefix = f"/{API_VERSION}"
         if path.startswith(prefix + "/"):
             route = path[len(prefix):]
-            return (route, {}) if route in _ROUTES else (None, {})
+            return (route, None) if route in _ROUTES else (None, None)
         if path in _ROUTES:
-            return path, {
-                "Deprecation": "true",
-                "Link": f'<{prefix}{path}>; rel="successor-version"',
-            }
-        return None, {}
+            return None, prefix + path
+        return None, None
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        route, extra = self._route()
-        if route == "/healthz":
+        route, redirect = self._route()
+        if redirect is not None:
+            self._send_redirect(redirect)
+        elif route == "/healthz":
             key = self.engine.key
             self._send_json(200, {
                 "status": "ok" if not self.engine.closed else "shutting-down",
@@ -184,9 +189,9 @@ class SRRequestHandler(BaseHTTPRequestHandler):
                 "scale": key.scale,
                 "precision": key.precision,
                 "api_version": API_VERSION,
-            }, extra_headers=extra)
+            })
         elif route == "/stats":
-            self._send_json(200, self.engine.stats(), extra_headers=extra)
+            self._send_json(200, self.engine.stats())
         elif route == "/metrics":
             text = render_prometheus(
                 self.engine.stats(),
@@ -195,7 +200,6 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             )
             self._send_bytes(
                 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE,
-                extra_headers=extra,
             )
         else:
             self._send_error(
@@ -203,7 +207,14 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        route, extra = self._route()
+        route, redirect = self._route()
+        if redirect is not None:
+            # The request body is never read: close the connection so the
+            # unread bytes cannot corrupt a keep-alive stream.  308 keeps
+            # the method and body on the retry against /v1.
+            self.close_connection = True
+            self._send_redirect(redirect)
+            return
         if route != "/upscale":
             self._send_error(
                 404, "not_found", f"unknown path {self.path!r}"
@@ -222,7 +233,6 @@ class SRRequestHandler(BaseHTTPRequestHandler):
                 415, "unsupported_media_type",
                 f"unsupported Content-Type {ctype!r}; send a netpbm image "
                 "as image/* or application/octet-stream",
-                extra_headers=extra,
             )
             return
         max_bytes = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
@@ -235,13 +245,11 @@ class SRRequestHandler(BaseHTTPRequestHandler):
             self._send_error(
                 413, "payload_too_large",
                 f"body of {length} bytes exceeds the {max_bytes}-byte limit",
-                extra_headers=extra,
             )
             return
         if length <= 0:
             self._send_error(
                 400, "bad_request", "missing or invalid body",
-                extra_headers=extra,
             )
             return
         body = self.rfile.read(length)
@@ -250,7 +258,6 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_error(
                 400, "bad_request", f"bad netpbm payload: {exc}",
-                extra_headers=extra,
             )
             return
         try:
@@ -258,25 +265,19 @@ class SRRequestHandler(BaseHTTPRequestHandler):
                 self.engine, img, trace_id=self._client_trace_id()
             )
         except (EngineOverloaded, EngineClosed) as exc:
-            self._send_error(
-                503, "unavailable", str(exc), extra_headers=extra
-            )
+            self._send_error(503, "unavailable", str(exc))
             return
         except RequestTimeout as exc:
-            self._send_error(
-                504, "deadline_exceeded", str(exc), extra_headers=extra
-            )
+            self._send_error(504, "deadline_exceeded", str(exc))
             return
         except Exception as exc:  # noqa: BLE001 — reported as HTTP 500
-            self._send_error(
-                500, "internal", f"inference failed: {exc}",
-                extra_headers=extra,
-            )
+            self._send_error(500, "internal", f"inference failed: {exc}")
             return
         payload = encode_netpbm(result.image)
-        headers = dict(extra)
-        headers["X-Degraded"] = "true" if result.degraded else "false"
-        headers["X-Trace-Id"] = result.trace_id
+        headers = {
+            "X-Degraded": "true" if result.degraded else "false",
+            "X-Trace-Id": result.trace_id,
+        }
         self._send_bytes(
             200, payload, "application/octet-stream", extra_headers=headers
         )
@@ -287,6 +288,13 @@ class SRRequestHandler(BaseHTTPRequestHandler):
         client and server), else ``None``."""
         trace_id = self.headers.get("X-Trace-Id", "").strip().lower()
         return trace_id if _TRACE_ID_RE.fullmatch(trace_id) else None
+
+    def _send_redirect(self, location: str) -> None:
+        """308 Permanent Redirect to the versioned route; empty body."""
+        self.send_response(308)
+        self.send_header("Location", location)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
 
     def _send_bytes(self, code: int, payload: bytes, ctype: str,
                     extra_headers: Optional[dict] = None) -> None:

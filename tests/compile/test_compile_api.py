@@ -7,7 +7,12 @@ import numpy as np
 from repro.cli import main
 from repro.compile import CaptureError, CompiledModel
 from repro.datasets import load_image, save_image
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+)
 
 KEY = ModelKey(name="M3", scale=2)
 
@@ -64,7 +69,9 @@ class TestRegistryPlanCache:
 class TestEngineCompiledDefault:
     def test_engine_runs_the_compiled_plan_by_default(self):
         registry = ModelRegistry()
-        engine = InferenceEngine(registry, KEY, workers=2, tile=16)
+        engine = InferenceEngine(
+            registry, KEY, config=EngineConfig(workers=2, tile=16),
+        )
         try:
             assert engine.compiled and not engine.compile_fallback
             assert isinstance(engine.model, CompiledModel)
@@ -78,10 +85,15 @@ class TestEngineCompiledDefault:
         registry = ModelRegistry()
         rng = np.random.default_rng(0)
         img = rng.random((24, 20)).astype(np.float32)
-        compiled = InferenceEngine(registry, KEY, workers=2, tile=16,
-                                   cache_size=0)
-        eager = InferenceEngine(registry, KEY, workers=2, tile=16,
-                                cache_size=0, compiled=False)
+        compiled = InferenceEngine(
+            registry, KEY,
+            config=EngineConfig(workers=2, tile=16, cache_size=0),
+        )
+        eager = InferenceEngine(
+            registry, KEY,
+            config=EngineConfig(workers=2, tile=16, cache_size=0,
+                                compiled=False),
+        )
         try:
             assert not eager.compiled
             assert not isinstance(eager.model, CompiledModel)
@@ -96,7 +108,9 @@ class TestEngineCompiledDefault:
 
         monkeypatch.setattr(ModelRegistry, "get_compiled", boom)
         registry = ModelRegistry()
-        engine = InferenceEngine(registry, KEY, workers=2, tile=16)
+        engine = InferenceEngine(
+            registry, KEY, config=EngineConfig(workers=2, tile=16),
+        )
         try:
             assert engine.compile_fallback and not engine.compiled
             assert not isinstance(engine.model, CompiledModel)

@@ -6,6 +6,7 @@ engines, and the response *bodies* must match byte for byte (a client
 ``X-Trace-Id`` pins the one random field).
 """
 
+import http.client
 import json
 import threading
 import urllib.error
@@ -61,6 +62,19 @@ def _request(server, path, body=None, headers=None, method=None):
             return resp.status, dict(resp.headers), resp.read()
     except urllib.error.HTTPError as err:
         return err.code, dict(err.headers), err.read()
+
+
+def _raw_request(server, method, path, body=None):
+    """One request over http.client — never follows redirects (urllib
+    follows a GET 308 transparently on 3.11+)."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
 
 
 @pytest.fixture(scope="module")
@@ -120,14 +134,19 @@ class TestByteCompatibility:
         assert status == 413
         assert json.loads(body)["error"]["code"] == "payload_too_large"
 
-    def test_deprecated_paths_carry_successor_headers(self, sync_server,
-                                                      async_server):
-        s = _request(sync_server, "/healthz")
-        a = _request(async_server, "/healthz")
-        assert a[2] == s[2]
-        for resp in (s, a):
-            assert resp[1]["Deprecation"] == "true"
-            assert 'rel="successor-version"' in resp[1]["Link"]
+    @pytest.mark.parametrize("path,method", [
+        ("/healthz", "GET"), ("/stats", "GET"),
+        ("/metrics", "GET"), ("/upscale", "POST"),
+    ])
+    def test_legacy_paths_redirect_308_identically(self, sync_server,
+                                                   async_server, path,
+                                                   method, image_body):
+        body = image_body if method == "POST" else None
+        s = _raw_request(sync_server, method, path, body=body)
+        a = _raw_request(async_server, method, path, body=body)
+        assert a[0] == s[0] == 308
+        assert a[1]["Location"] == s[1]["Location"] == f"/v1{path}"
+        assert a[2] == s[2] == b""
 
 
 class TestAsyncServerBehaviour:

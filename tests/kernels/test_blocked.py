@@ -1,0 +1,119 @@
+"""The blocked GEMM kernel: m-invariance (bitwise) and accuracy (fuzzed).
+
+The kernel's whole reason to exist is the first property: the reduction
+order of every output element is a function of k alone, so any row
+slicing/stacking of the left operand reproduces the exact bits of the
+unsliced call.  Hypothesis drives both properties across shapes that
+straddle the MC row-tile and KC chunk boundaries — the two places a
+blocking bug would re-associate the sum.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import KC, MC, blocked_matmul, blocked_matmul_t
+
+
+def _mat(shape, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.random(shape, dtype=np.float32) - 0.5).astype(np.float32)
+
+
+# Shapes are drawn to straddle the tile boundaries: m around MC, k around
+# KC (the semantic chunk size), n small — the conv-GEMM aspect ratio.
+dims = st.tuples(
+    st.integers(1, 2 * MC + 3),    # m
+    st.integers(1, KC + 40),       # k
+    st.integers(1, 24),            # n
+)
+
+
+class TestMInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(dims=dims, splits=st.integers(1, 5), seed=st.integers(0, 2**16))
+    def test_any_row_stacking_is_bit_identical(self, dims, splits, seed):
+        """Stacked call == concatenated per-slice calls, bitwise."""
+        m, k, n = dims
+        a, b = _mat((m, k), seed), _mat((k, n), seed + 1)
+        whole = blocked_matmul(a, b)
+        bounds = np.linspace(0, m, splits + 1, dtype=int)
+        parts = [
+            blocked_matmul(a[lo:hi], b)
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        assert np.array_equal(whole, np.concatenate(parts))
+
+    def test_single_rows_match_the_stack(self):
+        """The serving claim verbatim: N samples stacked == N runs of 1."""
+        a, b = _mat((MC + 7, KC + 9), 0), _mat((KC + 9, 16), 1)
+        whole = blocked_matmul(a, b)
+        for i in range(a.shape[0]):
+            assert np.array_equal(
+                whole[i:i + 1], blocked_matmul(a[i:i + 1], b)
+            )
+
+    def test_blas_shows_why_this_kernel_exists(self):
+        """On shapes where np.matmul re-associates across m, the blocked
+        kernel must not.  (If BLAS happens to be m-invariant here the
+        check is vacuous but still true — no xfail needed.)"""
+        a, b = _mat((300, 700), 2), _mat((700, 8), 3)
+        stacked = blocked_matmul(a, b)
+        singles = np.concatenate(
+            [blocked_matmul(a[i:i + 1], b) for i in range(300)]
+        )
+        assert np.array_equal(stacked, singles)
+
+
+class TestAccuracy:
+    @settings(max_examples=40, deadline=None)
+    @given(dims=dims, seed=st.integers(0, 2**16))
+    def test_close_to_npdot_in_fp32(self, dims, seed):
+        m, k, n = dims
+        a, b = _mat((m, k), seed), _mat((k, n), seed + 1)
+        got = blocked_matmul(a, b)
+        want = np.dot(a.astype(np.float64), b.astype(np.float64))
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_t_variant_matches_wrapper(self):
+        a, b = _mat((50, 80), 4), _mat((80, 12), 5)
+        bt = np.ascontiguousarray(b.T)
+        assert np.array_equal(blocked_matmul(a, b), blocked_matmul_t(a, bt))
+
+    def test_out_parameter_writes_in_place(self):
+        a, b = _mat((MC + 1, KC + 1), 6), _mat((KC + 1, 5), 7)
+        out = np.empty((MC + 1, 5), dtype=np.float32)
+        ret = blocked_matmul(a, b, out=out)
+        assert ret is out
+        assert np.array_equal(out, blocked_matmul(a, b))
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            blocked_matmul(np.zeros((2, 2, 2), np.float32),
+                           np.zeros((2, 2), np.float32))
+        with pytest.raises(ValueError, match="2-D"):
+            blocked_matmul(np.zeros((2, 2), np.float32),
+                           np.zeros(2, np.float32))
+
+    def test_rejects_non_float32(self):
+        with pytest.raises(TypeError, match="float32"):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((3, 4), np.float32))
+        with pytest.raises(TypeError, match="float32"):
+            blocked_matmul(np.zeros((2, 3), np.float32), np.zeros((3, 4)))
+
+    def test_rejects_inner_dim_mismatch(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            blocked_matmul(np.zeros((2, 3), np.float32),
+                           np.zeros((4, 5), np.float32))
+
+    def test_rejects_bad_out(self):
+        a = np.zeros((2, 3), np.float32)
+        b = np.zeros((3, 4), np.float32)
+        with pytest.raises(ValueError, match="out has shape"):
+            blocked_matmul(a, b, out=np.empty((3, 4), np.float32))
+        with pytest.raises(TypeError, match="out must be float32"):
+            blocked_matmul(a, b, out=np.empty((2, 4), np.float64))

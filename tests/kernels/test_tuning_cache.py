@@ -1,0 +1,155 @@
+"""The per-host tuning cache: round-trip, corruption tolerance, selection.
+
+The cache sits on the serving path (``gemm_backend="auto"`` loads it at
+engine construction), so the failure contract matters more than the
+happy path: anything unreadable degrades to ``{}`` — and therefore to
+the ``blas`` kernel — without raising.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.kernels import (
+    GEMM_KERNELS,
+    cache_path,
+    load_cache,
+    save_cache,
+    select_kernel,
+    shape_key,
+    time_conv_kernels,
+    tune_model,
+)
+from repro.kernels.tune import CACHE_VERSION
+
+
+@pytest.fixture
+def cache_file(tmp_path, monkeypatch):
+    path = tmp_path / "kernel_tuning.json"
+    monkeypatch.setenv("REPRO_TUNING_CACHE", str(path))
+    return str(path)
+
+
+ROW = {"kernel": "blocked", "ms": {"blas": 1.0, "blocked": 0.5,
+                                   "direct": 2.0}, "size": [96, 96]}
+KEY = shape_key(3, 3, 16, 16)
+
+
+class TestPaths:
+    def test_env_var_overrides_default(self, cache_file):
+        assert cache_path() == cache_file
+
+    def test_default_is_under_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+        assert cache_path().endswith(
+            os.path.join(".cache", "repro", "kernel_tuning.json")
+        )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, cache_file):
+        assert save_cache({KEY: ROW}) == cache_file
+        assert load_cache() == {KEY: ROW}
+        payload = json.load(open(cache_file))
+        assert payload["version"] == CACHE_VERSION
+        assert set(payload["host"]) == {
+            "node", "machine", "python", "numpy",
+        }
+
+    def test_save_merges_over_prior_rows(self, cache_file):
+        other = shape_key(5, 5, 1, 16)
+        save_cache({KEY: ROW})
+        save_cache({other: dict(ROW, kernel="direct")})
+        merged = load_cache()
+        assert set(merged) == {KEY, other}
+        assert merged[other]["kernel"] == "direct"
+
+    def test_save_replaces_a_row_for_the_same_shape(self, cache_file):
+        save_cache({KEY: ROW})
+        save_cache({KEY: dict(ROW, kernel="blas")})
+        assert load_cache()[KEY]["kernel"] == "blas"
+
+    def test_explicit_path_beats_env(self, cache_file, tmp_path):
+        explicit = str(tmp_path / "elsewhere.json")
+        save_cache({KEY: ROW}, path=explicit)
+        assert load_cache(explicit) == {KEY: ROW}
+        assert load_cache() == {}  # env-var location untouched
+
+
+class TestCorruptionTolerance:
+    def test_missing_file_is_empty(self, cache_file):
+        assert load_cache() == {}
+
+    @pytest.mark.parametrize("payload", [
+        "not json at all {{{",
+        json.dumps([1, 2, 3]),
+        json.dumps({"shapes": {}}),                       # no version
+        json.dumps({"version": CACHE_VERSION + 1, "shapes": {}}),
+        json.dumps({"version": CACHE_VERSION, "shapes": "nope"}),
+    ], ids=["garbage", "not-a-dict", "versionless", "future-version",
+            "bad-shapes"])
+    def test_unreadable_payloads_degrade_to_empty(self, cache_file,
+                                                  payload):
+        with open(cache_file, "w") as fh:
+            fh.write(payload)
+        assert load_cache() == {}
+
+    def test_bad_rows_are_dropped_good_rows_kept(self, cache_file):
+        with open(cache_file, "w") as fh:
+            json.dump({"version": CACHE_VERSION, "shapes": {
+                KEY: ROW,
+                "weird": {"kernel": "cuda"},   # unknown kernel
+                "worse": "not a row",
+            }}, fh)
+        assert load_cache() == {KEY: ROW}
+
+    def test_save_over_corrupt_file_recovers(self, cache_file):
+        with open(cache_file, "w") as fh:
+            fh.write("torn write!!")
+        save_cache({KEY: ROW})
+        assert load_cache() == {KEY: ROW}
+
+
+class TestSelectKernel:
+    def test_forced_backends_ignore_tuning(self):
+        for backend in ("blas", "blocked"):
+            assert select_kernel(backend, KEY, {KEY: ROW}) == \
+                (backend, "forced")
+
+    def test_auto_picks_the_tuned_winner(self):
+        assert select_kernel("auto", KEY, {KEY: ROW}) == \
+            ("blocked", "tuned")
+
+    def test_auto_defaults_to_blas_without_a_row(self):
+        assert select_kernel("auto", KEY, {}) == ("blas", "default")
+        assert select_kernel("auto", KEY, None) == ("blas", "default")
+
+    def test_auto_ignores_a_row_with_an_unknown_kernel(self):
+        assert select_kernel("auto", KEY, {KEY: {"kernel": "cuda"}}) == \
+            ("blas", "default")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="gemm backend"):
+            select_kernel("cublas", KEY, None)
+
+
+class TestMeasurement:
+    def test_time_conv_kernels_covers_every_kernel(self):
+        ms = time_conv_kernels(3, 3, 4, 4, size=(16, 16), repeats=1)
+        assert set(ms) == set(GEMM_KERNELS)
+        assert all(v > 0 for v in ms.values())
+
+    def test_tune_model_rows_round_trip(self, cache_file):
+        from repro.compile import compile_model
+        from repro.core import SESR
+
+        compiled = compile_model(SESR.from_name("M3", scale=2).collapse())
+        rows = tune_model(compiled, size=(16, 16), repeats=1)
+        assert rows  # one row per distinct conv shape
+        for key, row in rows.items():
+            assert row["kernel"] in GEMM_KERNELS
+            assert row["kernel"] == min(row["ms"], key=row["ms"].get)
+            assert row["size"] == [16, 16]
+        save_cache(rows)
+        assert load_cache() == rows

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.obs import Tracer, set_tracer, span_tree
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+)
 from repro.serve.engine import plan_tiles
 
 
@@ -22,8 +27,8 @@ def tracer():
 def engine():
     registry = ModelRegistry(seed=0)
     eng = InferenceEngine(
-        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
-        cache_size=0,
+        registry, ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, tile=16, cache_size=0),
     )
     yield eng
     eng.shutdown()
@@ -70,8 +75,8 @@ class TestEngineTracing:
     def test_cached_hit_is_traced_without_tiles(self, tracer):
         registry = ModelRegistry(seed=0)
         eng = InferenceEngine(
-            registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
-            cache_size=8,
+            registry, ModelKey(name="M3", scale=2),
+            config=EngineConfig(workers=2, tile=16, cache_size=8),
         )
         try:
             img = np.random.default_rng(3).random((20, 20))

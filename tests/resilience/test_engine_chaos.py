@@ -15,6 +15,7 @@ from repro.datasets.degradation import bicubic_upscale
 from repro.resilience import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.serve import (
     BreakerOpen,
+    EngineConfig,
     EngineError,
     InferenceEngine,
     ModelKey,
@@ -36,10 +37,18 @@ def registry():
 
 
 def make_engine(registry, **kwargs):
+    """Build an engine from flat kwargs (collaborators split from config)."""
     kwargs.setdefault("workers", 2)
     kwargs.setdefault("tile", 64)  # one tile per small test image
     kwargs.setdefault("cache_size", 0)
-    return InferenceEngine(registry, KEY, **kwargs)
+    extras = {
+        k: kwargs.pop(k)
+        for k in ("telemetry", "breaker", "fault_injector")
+        if k in kwargs
+    }
+    return InferenceEngine(
+        registry, KEY, config=EngineConfig(**kwargs), **extras
+    )
 
 
 def image(seed=0, shape=(20, 20)):

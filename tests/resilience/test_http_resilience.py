@@ -12,7 +12,13 @@ import pytest
 from repro.cli import _install_shutdown_handlers
 from repro.datasets import decode_netpbm, encode_netpbm
 from repro.resilience import FaultInjector, RetryPolicy
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
 
 pytestmark = pytest.mark.chaos
 
@@ -39,7 +45,9 @@ def post(server, path, body):
 class TestBodySizeLimit:
     @pytest.fixture(scope="class")
     def server(self):
-        engine = InferenceEngine(ModelRegistry(), KEY, workers=1, tile=64)
+        engine = InferenceEngine(
+            ModelRegistry(), KEY, config=EngineConfig(workers=1, tile=64),
+        )
         srv, thread = start_server(engine, max_body_bytes=4096)
         yield srv
         srv.close()
@@ -49,7 +57,7 @@ class TestBodySizeLimit:
         img = np.random.default_rng(0).random((10, 10)).astype(np.float32)
         body = encode_netpbm(img)
         assert len(body) <= 4096
-        with post(server, "/upscale", body) as resp:
+        with post(server, "/v1/upscale", body) as resp:
             out = decode_netpbm(resp.read())
         assert out.shape == (20, 20)
 
@@ -58,7 +66,7 @@ class TestBodySizeLimit:
         body = encode_netpbm(img)
         assert len(body) > 4096
         with pytest.raises(urllib.error.HTTPError) as err:
-            post(server, "/upscale", body)
+            post(server, "/v1/upscale", body)
         assert err.value.code == 413
         detail = json.load(err.value)
         assert detail["error"]["code"] == "payload_too_large"
@@ -69,20 +77,22 @@ class TestBodySizeLimit:
         big = encode_netpbm(np.ones((80, 80), dtype=np.float32))
         for _ in range(3):
             with pytest.raises(urllib.error.HTTPError):
-                post(server, "/upscale", big)
-        with urllib.request.urlopen(url(server, "/healthz"), timeout=30) as r:
+                post(server, "/v1/upscale", big)
+        with urllib.request.urlopen(url(server, "/v1/healthz"), timeout=30) as r:
             assert json.load(r)["status"] == "ok"
 
     def test_rejection_does_not_touch_the_engine(self, server):
         before = server.engine.stats()["counters"]["engine.requests_total"]
         with pytest.raises(urllib.error.HTTPError):
-            post(server, "/upscale",
+            post(server, "/v1/upscale",
                  encode_netpbm(np.ones((80, 80), dtype=np.float32)))
         after = server.engine.stats()["counters"]["engine.requests_total"]
         assert after == before
 
     def test_invalid_max_body_bytes_rejected(self):
-        engine = InferenceEngine(ModelRegistry(), KEY, workers=1)
+        engine = InferenceEngine(
+            ModelRegistry(), KEY, config=EngineConfig(workers=1),
+        )
         try:
             with pytest.raises(ValueError):
                 make_server(engine, "127.0.0.1", 0, max_body_bytes=0)
@@ -93,15 +103,18 @@ class TestBodySizeLimit:
 class TestDegradedHeader:
     def test_degraded_response_carries_the_header(self):
         engine = InferenceEngine(
-            ModelRegistry(), KEY, workers=1, tile=64, cache_size=0,
-            retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+            ModelRegistry(), KEY,
+            config=EngineConfig(
+                workers=1, tile=64, cache_size=0,
+                retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                degraded_mode=True,
+            ),
             fault_injector=FaultInjector(persistent=True),
-            degraded_mode=True,
         )
         srv, thread = start_server(engine)
         try:
             img = np.random.default_rng(2).random((12, 12)).astype(np.float32)
-            with post(srv, "/upscale", encode_netpbm(img)) as resp:
+            with post(srv, "/v1/upscale", encode_netpbm(img)) as resp:
                 assert resp.headers["X-Degraded"] == "true"
                 out = decode_netpbm(resp.read())
             assert out.shape == (24, 24)
@@ -110,11 +123,13 @@ class TestDegradedHeader:
             thread.join(timeout=5)
 
     def test_healthy_response_says_degraded_false(self):
-        engine = InferenceEngine(ModelRegistry(), KEY, workers=1, tile=64)
+        engine = InferenceEngine(
+            ModelRegistry(), KEY, config=EngineConfig(workers=1, tile=64),
+        )
         srv, thread = start_server(engine)
         try:
             img = np.random.default_rng(3).random((12, 12)).astype(np.float32)
-            with post(srv, "/upscale", encode_netpbm(img)) as resp:
+            with post(srv, "/v1/upscale", encode_netpbm(img)) as resp:
                 assert resp.headers["X-Degraded"] == "false"
         finally:
             srv.close()

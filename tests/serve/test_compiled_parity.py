@@ -1,6 +1,6 @@
 """Serving parity: compiled plans must be invisible to HTTP clients.
 
-``POST /upscale`` bytes are pinned identical with and without the plan
+``POST /v1/upscale`` bytes are pinned identical with and without the plan
 cache, in both precisions, and the degraded (bicubic) fallback is shown to
 bypass the compiled executor entirely.
 """
@@ -14,7 +14,13 @@ import pytest
 from repro.compile import CompiledModel
 from repro.datasets import encode_netpbm
 from repro.resilience import CircuitBreaker
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
 
 
 def _serve(engine):
@@ -27,7 +33,7 @@ def _serve(engine):
 def _post(srv, body):
     host, port = srv.server_address[:2]
     req = urllib.request.Request(
-        f"http://{host}:{port}/upscale", data=body, method="POST"
+        f"http://{host}:{port}/v1/upscale", data=body, method="POST"
     )
     return urllib.request.urlopen(req, timeout=30)
 
@@ -37,8 +43,8 @@ def server_pair(request):
     registry = ModelRegistry()
     key = ModelKey(name="M3", scale=2, precision=request.param)
     engines = [
-        InferenceEngine(registry, key, workers=2, tile=16, cache_size=0,
-                        compiled=compiled)
+        InferenceEngine(registry, key, config=EngineConfig(
+            workers=2, tile=16, cache_size=0, compiled=compiled))
         for compiled in (True, False)
     ]
     pairs = [_serve(e) for e in engines]
@@ -67,9 +73,9 @@ class TestDegradedBypassesThePlan:
         registry = ModelRegistry()
         engine = InferenceEngine(
             registry, ModelKey(name="M3", scale=2),
-            workers=2, tile=16, cache_size=0,
+            config=EngineConfig(workers=2, tile=16, cache_size=0,
+                                degraded_mode=True),
             breaker=CircuitBreaker(failure_threshold=1, cooldown=60.0),
-            degraded_mode=True,
         )
         srv, thread = _serve(engine)
         try:

@@ -1,15 +1,12 @@
-"""EngineConfig: validation, normalisation, and the deprecation shim."""
+"""EngineConfig: validation, normalisation, and config-only construction."""
 
 import dataclasses
 import json
-import warnings
 
-import numpy as np
 import pytest
 
 from repro.resilience import RetryPolicy
 from repro.serve import EngineConfig, InferenceEngine, ModelKey, ModelRegistry
-from repro.serve import engine as engine_mod
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +50,8 @@ def test_tile_pair_normalisation():
     {"breaker_cooldown": -1.0},
     {"supervise_interval": 0.0},
     {"wedge_timeout": 0.0},
+    {"worker_backend": "fibers"},
+    {"gemm_backend": "cublas"},
 ])
 def test_validation_rejects(bad):
     with pytest.raises((ValueError, TypeError)):
@@ -97,40 +96,31 @@ def test_engine_accepts_config(registry):
         eng.shutdown()
 
 
-def test_legacy_kwargs_warn_once_and_map_to_config(registry, monkeypatch):
-    monkeypatch.setattr(engine_mod, "_legacy_kwargs_warned", False)
-    with pytest.warns(DeprecationWarning, match="EngineConfig"):
-        eng = InferenceEngine(
-            registry, KEY, workers=1, tile=32, cache_size=0, supervise=False
-        )
-    try:
-        assert eng.config.workers == 1
-        assert eng.config.tile == (32, 32)
-    finally:
-        eng.shutdown()
-    # second legacy construction is silent (warn-once)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        eng2 = InferenceEngine(registry, KEY, workers=1, supervise=False)
-        eng2.shutdown()
+@pytest.mark.parametrize("legacy", [
+    {"workers": 2},
+    {"tile": 32},
+    {"retry": RetryPolicy(max_attempts=2)},
+    {"compiled": False},
+    {"wrokers": 2},  # typos fail identically — no shim to catch them
+])
+def test_legacy_kwargs_raise_type_error(registry, legacy):
+    """The two-release deprecation shim is gone: kwarg-style construction
+    is a plain TypeError now, like any unknown keyword argument."""
+    with pytest.raises(TypeError):
+        InferenceEngine(registry, KEY, **legacy)
 
 
-def test_legacy_engine_still_serves(registry, monkeypatch):
-    monkeypatch.setattr(engine_mod, "_legacy_kwargs_warned", True)
-    eng = InferenceEngine(registry, KEY, workers=1, tile=32, supervise=False)
-    try:
-        rng = np.random.default_rng(0)
-        img = rng.random((20, 20)).astype(np.float32)
-        assert eng.upscale(img).shape == (40, 40)
-    finally:
-        eng.shutdown()
+def test_gemm_backend_default_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_GEMM_BACKEND", "blocked")
+    assert EngineConfig().gemm_backend == "blocked"
+    monkeypatch.delenv("REPRO_GEMM_BACKEND")
+    assert EngineConfig().gemm_backend == "blas"
+    # explicit always beats the env var
+    monkeypatch.setenv("REPRO_GEMM_BACKEND", "auto")
+    assert EngineConfig(gemm_backend="blas").gemm_backend == "blas"
 
 
-def test_config_and_legacy_kwargs_are_mutually_exclusive(registry):
-    with pytest.raises(TypeError, match="not both"):
-        InferenceEngine(registry, KEY, config=EngineConfig(), workers=2)
-
-
-def test_unknown_kwargs_rejected(registry):
-    with pytest.raises(TypeError, match="unknown"):
-        InferenceEngine(registry, KEY, wrokers=2)
+def test_describe_mentions_gemm_backend():
+    assert "gemm blocked" in EngineConfig(
+        gemm_backend="blocked"
+    ).describe()

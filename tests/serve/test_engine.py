@@ -9,6 +9,7 @@ import pytest
 from repro.deploy import receptive_radius, tiled_upscale
 from repro.serve import (
     EngineClosed,
+    EngineConfig,
     EngineError,
     EngineOverloaded,
     InferenceEngine,
@@ -29,9 +30,17 @@ def registry():
 
 
 def make_engine(registry, **kwargs):
+    """Build an engine from flat kwargs (collaborators split from config)."""
     kwargs.setdefault("workers", 2)
     kwargs.setdefault("tile", 16)
-    return InferenceEngine(registry, KEY, **kwargs)
+    extras = {
+        k: kwargs.pop(k)
+        for k in ("telemetry", "breaker", "fault_injector")
+        if k in kwargs
+    }
+    return InferenceEngine(
+        registry, KEY, config=EngineConfig(**kwargs), **extras
+    )
 
 
 class _SlowModel:

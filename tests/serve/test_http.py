@@ -11,15 +11,21 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.datasets import decode_netpbm, encode_netpbm, save_image
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
 
 
 @pytest.fixture(scope="module")
 def server():
     registry = ModelRegistry()
     engine = InferenceEngine(
-        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
-        cache_size=8,
+        registry, ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, tile=16, cache_size=8),
     )
     srv = make_server(engine, "127.0.0.1", 0)  # ephemeral port
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
@@ -46,7 +52,7 @@ def get_json(server, path):
 
 class TestHealthAndStats:
     def test_healthz(self, server):
-        body = get_json(server, "/healthz")
+        body = get_json(server, "/v1/healthz")
         assert body["status"] == "ok"
         assert body["model"] == "M3" and body["scale"] == 2
 
@@ -60,16 +66,16 @@ class TestUpscale:
     def test_grey_round_trip(self, server):
         rng = np.random.default_rng(0)
         img = rng.random((24, 20)).astype(np.float32)
-        with post(server, "/upscale", encode_netpbm(img)) as resp:
+        with post(server, "/v1/upscale", encode_netpbm(img)) as resp:
             out = decode_netpbm(resp.read())
         assert out.shape == (48, 40)
 
     def test_identical_inputs_hit_the_cache(self, server):
         rng = np.random.default_rng(1)
         body = encode_netpbm(rng.random((16, 16)).astype(np.float32))
-        with post(server, "/upscale", body) as r1:
+        with post(server, "/v1/upscale", body) as r1:
             first = r1.read()
-        with post(server, "/upscale", body) as r2:
+        with post(server, "/v1/upscale", body) as r2:
             second = r2.read()
         assert first == second
         assert server.engine.cache.stats()["hits"] >= 1
@@ -77,18 +83,18 @@ class TestUpscale:
     def test_colour_round_trip(self, server):
         rng = np.random.default_rng(2)
         img = rng.random((16, 12, 3)).astype(np.float32)
-        with post(server, "/upscale", encode_netpbm(img)) as resp:
+        with post(server, "/v1/upscale", encode_netpbm(img)) as resp:
             out = decode_netpbm(resp.read())
         assert out.shape == (32, 24, 3)
 
     def test_bad_payload_is_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
-            post(server, "/upscale", b"definitely not an image")
+            post(server, "/v1/upscale", b"definitely not an image")
         assert err.value.code == 400
 
     def test_empty_body_is_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
-            post(server, "/upscale", b"")
+            post(server, "/v1/upscale", b"")
         assert err.value.code == 400
 
     def test_post_to_unknown_path_is_404(self, server):
@@ -97,7 +103,7 @@ class TestUpscale:
         assert err.value.code == 404
 
     def test_stats_report_served_traffic(self, server):
-        stats = get_json(server, "/stats")
+        stats = get_json(server, "/v1/stats")
         counters = stats["counters"]
         assert counters["engine.requests_total"] > 0
         assert counters["engine.requests_ok"] > 0
@@ -114,7 +120,8 @@ def parity_server():
     single tile, so the engine runs the exact cmd_upscale predict path."""
     registry = ModelRegistry()
     engine = InferenceEngine(
-        registry, ModelKey(name="M3", scale=2), workers=2, cache_size=8,
+        registry, ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, cache_size=8),
     )
     srv = make_server(engine, "127.0.0.1", 0)
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
@@ -138,7 +145,7 @@ class TestCliParity:
                          "--input", grey_in, "--output", grey_out]) == 0
         with open(grey_in, "rb") as fh:
             body = fh.read()
-        with post(server, "/upscale", body) as resp:
+        with post(server, "/v1/upscale", body) as resp:
             served = resp.read()
         with open(grey_out, "rb") as fh:
             assert served == fh.read()
@@ -154,7 +161,7 @@ class TestCliParity:
                          "--input", col_in, "--output", col_out]) == 0
         with open(col_in, "rb") as fh:
             body = fh.read()
-        with post(server, "/upscale", body) as resp:
+        with post(server, "/v1/upscale", body) as resp:
             served = resp.read()
         with open(col_out, "rb") as fh:
             assert served == fh.read()

@@ -1,17 +1,24 @@
-"""The versioned ``/v1`` HTTP API: routes, error schema, deprecation.
+"""The versioned ``/v1`` HTTP API: routes, error schema, 308 redirects.
 
 Pins the redesigned wire contract from ``docs/serving.md``:
 
 * ``/v1/upscale``, ``/v1/healthz``, ``/v1/stats``, ``/v1/metrics`` are
   the documented routes and carry no deprecation signal;
-* the unversioned originals still work byte-for-byte but answer with
-  ``Deprecation: true`` and a ``Link: ...; rel="successor-version"``
-  header naming their replacement;
+* the unversioned originals answer **308 Permanent Redirect** with a
+  ``Location: /v1/...`` header and an empty body (they spent a release
+  serving dual-stack behind ``Deprecation``/``Link`` headers first);
 * every non-2xx body is ``{"error": {code, message, trace_id}}``, and
   header validation (Content-Type, Content-Length) happens before the
   body is read.
+
+Whether urllib follows a 308 depends on the interpreter (3.11 added
+``http_error_308`` for body-less methods; a POST always surfaces the
+redirect because 308 forbids the POST→GET rewrite), so the redirect
+responses are asserted over raw ``http.client`` — status + ``Location``
+exactly as they appear on the wire.
 """
 
+import http.client
 import json
 import threading
 import urllib.error
@@ -114,25 +121,54 @@ class TestV1Routes:
 
 
 # --------------------------------------------------------------------- #
-# unversioned compatibility
+# unversioned paths: 308 Permanent Redirect
 # --------------------------------------------------------------------- #
-class TestDeprecatedRoutes:
-    @pytest.mark.parametrize("path", ["/healthz", "/stats", "/metrics"])
-    def test_legacy_get_works_with_deprecation_headers(self, server, path):
-        with get(server, path) as resp:
-            assert resp.status == 200
-            assert resp.headers["Deprecation"] == "true"
-            link = resp.headers["Link"]
-        assert f"</v1{path}>" in link and 'rel="successor-version"' in link
+def raw_request(server, method, path, body=None):
+    """One request over http.client — no redirect following, ever."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
 
-    def test_legacy_upscale_works_with_deprecation_headers(self, server):
-        with post(server, "/upscale", GREY) as resp:
-            assert resp.headers["Deprecation"] == "true"
-            assert "</v1/upscale>" in resp.headers["Link"]
-            legacy = resp.read()
-        with post(server, "/v1/upscale", GREY) as resp:
-            assert decode_netpbm(resp.read()).tobytes() == \
-                decode_netpbm(legacy).tobytes()
+
+class TestLegacyRedirects:
+    @pytest.mark.parametrize("path", ["/healthz", "/stats", "/metrics"])
+    def test_legacy_get_redirects_with_308(self, server, path):
+        status, headers, body = raw_request(server, "GET", path)
+        assert status == 308
+        assert headers["Location"] == f"/v1{path}"
+        assert body == b""
+
+    def test_legacy_upscale_redirects_with_308(self, server):
+        status, headers, body = raw_request(server, "POST", "/upscale", GREY)
+        assert status == 308
+        assert headers["Location"] == "/v1/upscale"
+        assert body == b""
+
+    def test_manual_redirect_follow_round_trips(self, server):
+        """A client that replays POST (method + body) against Location —
+        what 308 mandates — gets the normal /v1 response."""
+        _, headers, _ = raw_request(server, "POST", "/upscale", GREY)
+        with post(server, headers["Location"], GREY) as resp:
+            assert resp.headers["X-Degraded"] == "false"
+            assert decode_netpbm(resp.read()).shape == (24, 24)
+
+    def test_urllib_post_surfaces_the_redirect(self, server):
+        # 308 forbids rewriting POST to GET, so urllib refuses to follow
+        # and the application sees the redirect itself.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/upscale", GREY)
+        assert err.value.code == 308
+        assert err.value.headers["Location"] == "/v1/upscale"
+
+    def test_unknown_unversioned_path_is_404_not_redirect(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
 
 
 # --------------------------------------------------------------------- #

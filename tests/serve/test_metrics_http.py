@@ -15,7 +15,13 @@ import numpy as np
 import pytest
 
 from repro.datasets import encode_netpbm
-from repro.serve import InferenceEngine, ModelKey, ModelRegistry, make_server
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelKey,
+    ModelRegistry,
+    make_server,
+)
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -70,8 +76,8 @@ def parse_prometheus(text):
 def server():
     registry = ModelRegistry()
     engine = InferenceEngine(
-        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
-        cache_size=8,
+        registry, ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, tile=16, cache_size=8),
     )
     srv = make_server(engine, "127.0.0.1", 0)
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
@@ -88,14 +94,14 @@ def url(server, path):
 
 def post_image(server, img, headers=None):
     req = urllib.request.Request(
-        url(server, "/upscale"), data=encode_netpbm(img), method="POST",
+        url(server, "/v1/upscale"), data=encode_netpbm(img), method="POST",
         headers=headers or {},
     )
     return urllib.request.urlopen(req, timeout=30)
 
 
 def scrape(server):
-    with urllib.request.urlopen(url(server, "/metrics"), timeout=30) as resp:
+    with urllib.request.urlopen(url(server, "/v1/metrics"), timeout=30) as resp:
         assert resp.headers["Content-Type"].startswith("text/plain")
         assert "version=0.0.4" in resp.headers["Content-Type"]
         return resp.read().decode("utf-8")
@@ -126,7 +132,7 @@ class TestMetricsEndpoint:
         # Quiesced server: both endpoints must describe the same registry
         # state (scrape after /stats sees >= its counters; here nothing
         # is in flight so they are equal).
-        with urllib.request.urlopen(url(server, "/stats"), timeout=30) as r:
+        with urllib.request.urlopen(url(server, "/v1/stats"), timeout=30) as r:
             stats = json.load(r)
         samples, _ = parse_prometheus(scrape(server))
         no_labels = frozenset()

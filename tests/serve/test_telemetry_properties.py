@@ -202,12 +202,17 @@ def test_telemetry_snapshot_consistent_under_load():
 
 def test_engine_stats_consistent_mid_flight():
     """Snapshots taken while the engine serves real requests are sane."""
-    from repro.serve import InferenceEngine, ModelKey, ModelRegistry
+    from repro.serve import (
+        EngineConfig,
+        InferenceEngine,
+        ModelKey,
+        ModelRegistry,
+    )
 
     registry = ModelRegistry(seed=0)
     engine = InferenceEngine(
-        registry, ModelKey(name="M3", scale=2), workers=2, tile=16,
-        cache_size=0,
+        registry, ModelKey(name="M3", scale=2),
+        config=EngineConfig(workers=2, tile=16, cache_size=0),
     )
     try:
         rng = np.random.default_rng(0)
